@@ -1,0 +1,65 @@
+// Command relcli solves reliability/availability models described in JSON.
+//
+// Usage:
+//
+//	relcli -model system.json [-json]
+//	cat system.json | relcli [-json]
+//
+// The input format is documented in internal/modelio and README.md; it
+// covers reliability block diagrams, fault trees, CTMCs, and reliability
+// graphs with per-model measure selection.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/modelio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("relcli", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to the JSON model (default: stdin)")
+	asJSON := fs.Bool("json", false, "emit results as JSON instead of text")
+	asDOT := fs.Bool("dot", false, "emit the model structure as Graphviz DOT (ctmc/spn)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := modelio.Parse(in)
+	if err != nil {
+		return err
+	}
+	if *asDOT {
+		return modelio.WriteDOT(spec, stdout)
+	}
+	results, err := modelio.Solve(spec)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	_, err = io.WriteString(stdout, modelio.Render(spec.Name, results))
+	return err
+}

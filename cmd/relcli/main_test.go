@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFromStdin(t *testing.T) {
+	doc := `{"type":"ctmc","ctmc":{
+	  "transitions":[{"from":"up","to":"down","rate":0.01},{"from":"down","to":"up","rate":1}],
+	  "upStates":["up"],"measures":["availability"]}}`
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "availability") {
+		t.Errorf("output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "0.990099") {
+		t.Errorf("expected availability value in %q", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	doc := `{"type":"faulttree","faulttree":{
+	  "events":[{"name":"a","prob":0.5}],
+	  "top":{"event":"a"},"measures":["top"]}}`
+	var out strings.Builder
+	if err := run([]string{"-json"}, strings.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"measure": "top"`) {
+		t.Errorf("json output: %q", out.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("{nope"), &strings.Builder{}); err == nil {
+		t.Error("bad json accepted")
+	}
+	if err := run([]string{"-model", "/nonexistent/file.json"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	doc := `{"type":"ctmc","name":"duplex","ctmc":{
+	  "transitions":[{"from":"up","to":"down","rate":0.01},{"from":"down","to":"up","rate":1}],
+	  "upStates":["up"],"measures":["availability"]}}`
+	var out strings.Builder
+	if err := run([]string{"-dot"}, strings.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `digraph "duplex"`) {
+		t.Errorf("dot output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "lightcoral") {
+		t.Errorf("down state not highlighted: %q", out.String())
+	}
+	// Unsupported type.
+	rbdDoc := `{"type":"rbd","rbd":{"components":[{"name":"a","lifetime":{"kind":"exponential","rate":1}}],
+	  "structure":{"comp":"a"},"measures":["mttf"]}}`
+	if err := run([]string{"-dot"}, strings.NewReader(rbdDoc), &strings.Builder{}); err == nil {
+		t.Error("rbd dot accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBundledModels solves every model document shipped in models/ — an
+// end-to-end integration test of the CLI surface over all five model
+// families.
+func TestBundledModels(t *testing.T) {
+	dir := filepath.Join("..", "..", "models")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("expected at least 5 bundled models, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			path := filepath.Join(dir, name)
+			if err := run([]string{"-model", path}, nil, &out); err != nil {
+				t.Fatalf("relcli failed on %s: %v", name, err)
+			}
+			if out.Len() == 0 {
+				t.Fatalf("no output for %s", name)
+			}
+			// Every bundled model has a name header.
+			if !strings.Contains(out.String(), "model: ") {
+				t.Errorf("%s output missing model header:\n%s", name, out.String())
+			}
+		})
+	}
+}

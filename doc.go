@@ -1,0 +1,6 @@
+// Package repro is the root of the reliability-and-availability modeling
+// reproduction (DSN 2016 tutorial, Trivedi). The solver library lives
+// under internal/ (see README.md for the map), runnable case studies under
+// examples/, command-line tools under cmd/, and the benchmark harness that
+// regenerates every experiment table in this package's *_test.go files.
+package repro

@@ -1,0 +1,158 @@
+// Maintenance composes three of the tutorial's threads in one study:
+// Markov regenerative processes (deterministic maintenance timers),
+// optimization over a design parameter, and epistemic parameter
+// uncertainty. A machine ages through a latent degradation stage before
+// failing; preventive maintenance runs on a fixed interval τ. The study
+// finds the τ minimizing total downtime, then asks how robust that optimum
+// is when the degradation rate is only known up to a lognormal error —
+// reporting, per candidate τ, the 90% downtime interval and the
+// probability that τ is within 10% of the (per-sample) optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/mrgp"
+	"repro/internal/uncertainty"
+)
+
+const (
+	nominalLamD = 0.02 // robust → degraded (latent) rate, per hour
+	lamF        = 0.01 // degraded → failed rate
+	muRepair    = 0.05 // failure repair: 20 h average
+	muMaint     = 2.0  // preventive maintenance: 30 min
+)
+
+var candidateTaus = []float64{5, 10, 20, 40, 80, 160, 320}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// downtime returns the total steady-state unavailability for maintenance
+// interval tau and degradation rate lamD (clock-resetting MRGP).
+func downtime(tau, lamD float64) (float64, error) {
+	p := mrgp.New()
+	for _, err := range []error{
+		p.AddExp("robust", "degraded", lamD),
+		p.SetDeterministic("robust", "maint", tau),
+		p.AddExp("degraded", "failed", lamF),
+		p.SetDeterministic("degraded", "maint", tau),
+		p.AddExp("failed", "robust", muRepair),
+		p.AddExp("maint", "robust", muMaint),
+	} {
+		if err != nil {
+			return 0, err
+		}
+	}
+	pi, err := p.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	return pi["failed"] + pi["maint"], nil
+}
+
+func run() error {
+	const minutesPerYear = 525960
+
+	fmt.Println("Preventive-maintenance interval optimization under uncertainty")
+	fmt.Println()
+
+	// --- nominal optimization -------------------------------------------
+	fmt.Printf("%-10s %-14s %s\n", "tau (h)", "unavailability", "downtime (min/yr)")
+	bestTau, bestU := 0.0, 1.0
+	for _, tau := range candidateTaus {
+		u, err := downtime(tau, nominalLamD)
+		if err != nil {
+			return err
+		}
+		if u < bestU {
+			bestU, bestTau = u, tau
+		}
+		fmt.Printf("%-10g %-14.6f %9.0f\n", tau, u, u*minutesPerYear)
+	}
+	noMaint := lamFChainUnavailability()
+	fmt.Printf("%-10s %-14.6f %9.0f\n", "none", noMaint, noMaint*minutesPerYear)
+	fmt.Printf("\nnominal optimum: tau = %g h (%.0f min/yr vs %.0f min/yr unmaintained)\n\n",
+		bestTau, bestU*minutesPerYear, noMaint*minutesPerYear)
+
+	// --- robustness under lamD uncertainty --------------------------------
+	lamDist, err := dist.NewLognormalFromMoments(nominalLamD, 0.4)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(2026))
+	const samples = 400
+
+	fmt.Printf("degradation rate uncertain (lognormal, cv 0.4, n=%d LHS samples):\n\n", samples)
+	fmt.Printf("%-10s %-12s %-12s %s\n", "tau (h)", "U p05", "U p95", "P(tau near-optimal)")
+
+	// Draw one shared sample set so candidates are compared on common
+	// random numbers.
+	draws := make([]float64, 0, samples)
+	{
+		res, err := uncertainty.Propagate(
+			func(p map[string]float64) (float64, error) { return p["lamD"], nil },
+			[]uncertainty.Param{{Name: "lamD", Dist: lamDist}},
+			uncertainty.Options{Samples: samples, LatinHypercube: true}, rng)
+		if err != nil {
+			return err
+		}
+		draws = append(draws, res.Samples...)
+	}
+	// Per sample, the downtime of every candidate and the best candidate.
+	perTau := make(map[float64][]float64, len(candidateTaus))
+	nearOptimal := make(map[float64]int, len(candidateTaus))
+	for _, lamD := range draws {
+		best := 1.0
+		us := make(map[float64]float64, len(candidateTaus))
+		for _, tau := range candidateTaus {
+			u, err := downtime(tau, lamD)
+			if err != nil {
+				return err
+			}
+			us[tau] = u
+			if u < best {
+				best = u
+			}
+		}
+		for _, tau := range candidateTaus {
+			perTau[tau] = append(perTau[tau], us[tau])
+			if us[tau] <= 1.1*best {
+				nearOptimal[tau]++
+			}
+		}
+	}
+	for _, tau := range candidateTaus {
+		us := perTau[tau]
+		sort.Float64s(us)
+		p05 := us[int(0.05*float64(len(us)))]
+		p95 := us[int(0.95*float64(len(us)))-1]
+		fmt.Printf("%-10g %-12.6f %-12.6f %.0f%%\n",
+			tau, p05, p95, 100*float64(nearOptimal[tau])/float64(len(draws)))
+	}
+	fmt.Println()
+	fmt.Println("reading: pick the interval with high near-optimality probability,")
+	fmt.Println("not the nominal optimizer alone — the tutorial's uncertainty message.")
+	return nil
+}
+
+// lamFChainUnavailability is the no-maintenance baseline (CTMC-equivalent
+// MRGP without timers).
+func lamFChainUnavailability() float64 {
+	p := mrgp.New()
+	_ = p.AddExp("robust", "degraded", nominalLamD)
+	_ = p.AddExp("degraded", "failed", lamF)
+	_ = p.AddExp("failed", "robust", muRepair)
+	pi, err := p.SteadyState()
+	if err != nil {
+		return 1
+	}
+	return pi["failed"]
+}

@@ -1,0 +1,268 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with an ITE-based apply, probability evaluation, and minimal cut set
+// extraction. BDDs are the workhorse for non-state-space reliability models:
+// a structure function over independent components becomes a BDD, and the
+// system unreliability is a single bottom-up pass over it (Rauzy's
+// algorithm), regardless of repeated events.
+package bdd
+
+import (
+	"fmt"
+)
+
+// Ref identifies a BDD node within a Manager. The terminals are False and
+// True; all other refs index internal nodes.
+type Ref int32
+
+// Terminal node references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level     int32 // variable index; terminals use a sentinel
+	low, high Ref
+}
+
+const terminalLevel int32 = 1<<31 - 1
+
+// Manager owns the node table and operation caches for a set of BDDs that
+// share a variable ordering. It is not safe for concurrent use.
+type Manager struct {
+	nodes  []node
+	unique map[node]Ref
+	iteC   map[[3]Ref]Ref
+	nvars  int
+}
+
+// New returns a manager for nvars Boolean variables, ordered by index.
+func New(nvars int) *Manager {
+	m := &Manager{
+		unique: make(map[node]Ref, 1024),
+		iteC:   make(map[[3]Ref]Ref, 1024),
+		nvars:  nvars,
+	}
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel}, // False
+		node{level: terminalLevel}, // True
+	)
+	return m
+}
+
+// NumVars returns the number of declared variables.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) (Ref, error) {
+	if i < 0 || i >= m.nvars {
+		return False, fmt.Errorf("bdd: variable %d outside [0,%d)", i, m.nvars)
+	}
+	return m.mk(int32(i), False, True), nil
+}
+
+// mk returns the canonical node (level, low, high), applying the reduction
+// rules (no redundant tests, shared subgraphs).
+func (m *Manager) mk(level int32, low, high Ref) Ref {
+	if low == high {
+		return low
+	}
+	key := node{level: level, low: low, high: high}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// ITE computes if-then-else(f, g, h) = f·g + ¬f·h. All Boolean connectives
+// reduce to ITE.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.iteC[key]; ok {
+		return r
+	}
+	// Split on the top variable.
+	lv := m.level(f)
+	if l := m.level(g); l < lv {
+		lv = l
+	}
+	if l := m.level(h); l < lv {
+		lv = l
+	}
+	f0, f1 := m.cofactors(f, lv)
+	g0, g1 := m.cofactors(g, lv)
+	h0, h1 := m.cofactors(h, lv)
+	low := m.ITE(f0, g0, h0)
+	high := m.ITE(f1, g1, h1)
+	r := m.mk(lv, low, high)
+	m.iteC[key] = r
+	return r
+}
+
+// cofactors returns (f|v=0, f|v=1) for the variable at the given level.
+func (m *Manager) cofactors(f Ref, level int32) (Ref, Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.low, n.high
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// AndN folds And over its arguments (True for none).
+func (m *Manager) AndN(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+// OrN folds Or over its arguments (False for none).
+func (m *Manager) OrN(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// KofN returns the function that is true when at least k of the given
+// functions are true, built by dynamic programming over thresholds.
+func (m *Manager) KofN(k int, fs []Ref) (Ref, error) {
+	n := len(fs)
+	if k < 0 || k > n {
+		return False, fmt.Errorf("bdd: k=%d outside [0,%d]", k, n)
+	}
+	if k == 0 {
+		return True, nil
+	}
+	// thr[j] = "at least j of the inputs seen so far are true".
+	thr := make([]Ref, k+1)
+	thr[0] = True
+	for j := 1; j <= k; j++ {
+		thr[j] = False
+	}
+	for _, f := range fs {
+		for j := k; j >= 1; j-- {
+			thr[j] = m.ITE(f, thr[j-1], thr[j])
+		}
+	}
+	return thr[k], nil
+}
+
+// Restrict returns f with variable v fixed to the given value.
+func (m *Manager) Restrict(f Ref, v int, value bool) (Ref, error) {
+	if v < 0 || v >= m.nvars {
+		return False, fmt.Errorf("bdd: variable %d outside [0,%d)", v, m.nvars)
+	}
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(r Ref) Ref {
+		n := m.nodes[r]
+		if n.level == terminalLevel {
+			return r
+		}
+		if got, ok := memo[r]; ok {
+			return got
+		}
+		var out Ref
+		switch {
+		case int(n.level) == v:
+			if value {
+				out = rec(n.high)
+			} else {
+				out = rec(n.low)
+			}
+		case int(n.level) > v:
+			out = r
+		default:
+			out = m.mk(n.level, rec(n.low), rec(n.high))
+		}
+		memo[r] = out
+		return out
+	}
+	return rec(f), nil
+}
+
+// NodeCount returns the number of distinct internal nodes reachable from f.
+func (m *Manager) NodeCount(f Ref) int {
+	seen := make(map[Ref]bool)
+	var rec func(Ref)
+	rec = func(r Ref) {
+		if r == True || r == False || seen[r] {
+			return
+		}
+		seen[r] = true
+		rec(m.nodes[r].low)
+		rec(m.nodes[r].high)
+	}
+	rec(f)
+	return len(seen)
+}
+
+// SatCount returns the number of satisfying assignments over all nvars
+// variables as a float64 (exact for counts below 2^53).
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	var rec func(Ref, int32) float64
+	rec = func(r Ref, fromLevel int32) float64 {
+		n := m.nodes[r]
+		lvl := n.level
+		if lvl == terminalLevel {
+			lvl = int32(m.nvars)
+		}
+		var base float64 // count over variables lvl..nvars-1
+		if n.level == terminalLevel {
+			if r == True {
+				base = 1
+			}
+		} else if got, ok := memo[r]; ok {
+			base = got
+		} else {
+			base = rec(n.low, lvl+1) + rec(n.high, lvl+1)
+			memo[r] = base
+		}
+		// Variables between fromLevel and lvl are unconstrained.
+		return base * pow2(int(lvl-fromLevel))
+	}
+	return rec(f, 0)
+}
+
+func pow2(k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= 2
+	}
+	return out
+}

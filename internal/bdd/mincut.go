@@ -1,0 +1,136 @@
+package bdd
+
+import (
+	"sort"
+)
+
+// CutSet is a set of variable indices, sorted ascending.
+type CutSet []int
+
+// contains reports whether c ⊇ other.
+func (c CutSet) contains(other CutSet) bool {
+	if len(other) > len(c) {
+		return false
+	}
+	i := 0
+	for _, want := range other {
+		for i < len(c) && c[i] < want {
+			i++
+		}
+		if i >= len(c) || c[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// MinimalCutSets extracts the minimal cut sets of a coherent (monotone)
+// function f: the minimal sets of variables that, when all true, force
+// f = 1. This is Rauzy's recursive BDD algorithm with subsumption
+// minimization at each node.
+//
+// For non-coherent functions the result is the set of minimal solutions
+// containing only positive literals, which coincides with minimal cut sets
+// whenever the function is monotone.
+func (m *Manager) MinimalCutSets(f Ref) []CutSet {
+	memo := make(map[Ref][]CutSet)
+	var rec func(Ref) []CutSet
+	rec = func(r Ref) []CutSet {
+		switch r {
+		case False:
+			return nil
+		case True:
+			return []CutSet{{}}
+		}
+		if cs, ok := memo[r]; ok {
+			return cs
+		}
+		n := m.nodes[r]
+		lowCuts := rec(n.low)
+		highCuts := rec(n.high)
+		v := int(n.level)
+		// Cuts through the high branch must include v; drop those subsumed
+		// by a low-branch cut (which achieves failure without v).
+		out := make([]CutSet, 0, len(lowCuts)+len(highCuts))
+		out = append(out, lowCuts...)
+		for _, hc := range highCuts {
+			withV := insertSorted(hc, v)
+			subsumed := false
+			for _, lc := range lowCuts {
+				if withV.contains(lc) {
+					subsumed = true
+					break
+				}
+			}
+			if !subsumed {
+				out = append(out, withV)
+			}
+		}
+		memo[r] = out
+		return out
+	}
+	cuts := rec(f)
+	sortCutSets(cuts)
+	return cuts
+}
+
+// insertSorted returns a new sorted set equal to c ∪ {v}.
+func insertSorted(c CutSet, v int) CutSet {
+	out := make(CutSet, 0, len(c)+1)
+	placed := false
+	for _, x := range c {
+		if !placed && v < x {
+			out = append(out, v)
+			placed = true
+		}
+		if x == v {
+			placed = true
+		}
+		out = append(out, x)
+	}
+	if !placed {
+		out = append(out, v)
+	}
+	return out
+}
+
+// sortCutSets orders cut sets by size, then lexicographically.
+func sortCutSets(cuts []CutSet) {
+	sort.Slice(cuts, func(i, j int) bool {
+		a, b := cuts[i], cuts[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// Minimize removes non-minimal sets from cuts (those that are supersets of
+// another cut) and returns the minimized, sorted collection. It is used by
+// callers that assemble candidate cut collections outside a BDD (e.g.,
+// MOCUS-style enumeration).
+func Minimize(cuts []CutSet) []CutSet {
+	sorted := make([]CutSet, len(cuts))
+	copy(sorted, cuts)
+	sortCutSets(sorted)
+	var out []CutSet
+	for _, c := range sorted {
+		minimal := true
+		for _, kept := range out {
+			if c.contains(kept) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, c)
+		}
+	}
+	return out
+}

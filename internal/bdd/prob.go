@@ -1,0 +1,83 @@
+package bdd
+
+import (
+	"fmt"
+)
+
+// Prob computes Pr[f = 1] given independent variable probabilities
+// p[i] = Pr[var i = 1], by a memoized Shannon expansion over the BDD
+// (Rauzy's bottom-up algorithm). Complexity is linear in the BDD size.
+func (m *Manager) Prob(f Ref, p []float64) (float64, error) {
+	if len(p) != m.nvars {
+		return 0, fmt.Errorf("bdd prob: %d probabilities for %d variables", len(p), m.nvars)
+	}
+	for i, pi := range p {
+		if pi < 0 || pi > 1 {
+			return 0, fmt.Errorf("bdd prob: p[%d]=%g outside [0,1]", i, pi)
+		}
+	}
+	memo := make(map[Ref]float64)
+	var rec func(Ref) float64
+	rec = func(r Ref) float64 {
+		switch r {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		pi := p[n.level]
+		v := (1-pi)*rec(n.low) + pi*rec(n.high)
+		memo[r] = v
+		return v
+	}
+	return rec(f), nil
+}
+
+// Birnbaum computes the Birnbaum importance of variable v for function f:
+// Pr[f | x_v = 1] - Pr[f | x_v = 0], the partial derivative of the system
+// probability with respect to the component probability.
+func (m *Manager) Birnbaum(f Ref, p []float64, v int) (float64, error) {
+	f1, err := m.Restrict(f, v, true)
+	if err != nil {
+		return 0, err
+	}
+	f0, err := m.Restrict(f, v, false)
+	if err != nil {
+		return 0, err
+	}
+	p1, err := m.Prob(f1, p)
+	if err != nil {
+		return 0, err
+	}
+	p0, err := m.Prob(f0, p)
+	if err != nil {
+		return 0, err
+	}
+	return p1 - p0, nil
+}
+
+// CriticalityImportance computes the criticality importance of variable v:
+// Birnbaum(v) · p[v] / Pr[f]. It measures the probability that v is both
+// critical and failed, given the system has failed (f interpreted as the
+// failure function).
+func (m *Manager) CriticalityImportance(f Ref, p []float64, v int) (float64, error) {
+	b, err := m.Birnbaum(f, p, v)
+	if err != nil {
+		return 0, err
+	}
+	sys, err := m.Prob(f, p)
+	if err != nil {
+		return 0, err
+	}
+	if sys == 0 {
+		return 0, nil
+	}
+	if v < 0 || v >= m.nvars {
+		return 0, fmt.Errorf("bdd: variable %d outside [0,%d)", v, m.nvars)
+	}
+	return b * p[v] / sys, nil
+}

@@ -1,0 +1,216 @@
+package bounds
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bridgeSystem returns the bridge network's failure-side cut system over
+// components 0..4 with identical failure probability q, plus its path sets.
+func bridgeSystem(q float64) (*CutSystem, [][]int) {
+	cs := &CutSystem{
+		Cuts:  [][]int{{0, 1}, {3, 4}, {0, 2, 4}, {1, 2, 3}},
+		FailP: []float64{q, q, q, q, q},
+	}
+	paths := [][]int{{0, 3}, {1, 4}, {0, 2, 4}, {1, 2, 3}}
+	return cs, paths
+}
+
+// bridgeExactQ is the exact bridge failure probability for identical q.
+func bridgeExactQ(q float64) float64 {
+	p := 1 - q
+	r := 2*math.Pow(p, 2) + 2*math.Pow(p, 3) - 5*math.Pow(p, 4) + 2*math.Pow(p, 5)
+	return 1 - r
+}
+
+func TestBoundsBracketExactBridge(t *testing.T) {
+	for _, q := range []float64{0.01, 0.05, 0.2} {
+		cs, paths := bridgeSystem(q)
+		exact, err := cs.Exact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-bridgeExactQ(q)) > 1e-12 {
+			t.Fatalf("q=%g: BDD exact %g != closed form %g", q, exact, bridgeExactQ(q))
+		}
+		re, err := cs.RareEvent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re < exact-1e-15 {
+			t.Errorf("q=%g: rare-event %g below exact %g", q, re, exact)
+		}
+		epU, err := cs.EsaryProschanUpper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epU < exact-1e-15 {
+			t.Errorf("q=%g: EP upper %g below exact %g", q, epU, exact)
+		}
+		epL, err := cs.EsaryProschanLower(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epL > exact+1e-15 {
+			t.Errorf("q=%g: EP lower %g above exact %g", q, epL, exact)
+		}
+		// EP upper is never worse than the rare-event bound.
+		if epU > re+1e-15 {
+			t.Errorf("q=%g: EP upper %g exceeds rare-event %g", q, epU, re)
+		}
+	}
+}
+
+func TestBonferroniAlternation(t *testing.T) {
+	cs, _ := bridgeSystem(0.1)
+	exact, err := cs.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := cs.Bonferroni(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := cs.Bonferroni(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := cs.Bonferroni(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b2 <= exact+1e-15 && exact <= b1+1e-15) {
+		t.Errorf("Bonferroni order 1/2 [%g, %g] must bracket %g", b2, b1, exact)
+	}
+	if !(b3 >= exact-1e-15) {
+		t.Errorf("order-3 %g must be an upper bound on %g", b3, exact)
+	}
+	// Full order equals exact.
+	b4, err := cs.Bonferroni(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b4-exact) > 1e-12 {
+		t.Errorf("full Bonferroni %g != exact %g", b4, exact)
+	}
+}
+
+func TestTruncatedBoundsTightenMonotonically(t *testing.T) {
+	// Boeing-style wide system: many AND-pairs with varying probability.
+	rng := rand.New(rand.NewSource(3))
+	nComp := 60
+	failP := make([]float64, nComp)
+	for i := range failP {
+		failP[i] = 1e-4 + rng.Float64()*5e-3
+	}
+	var cuts [][]int
+	for i := 0; i+1 < nComp; i += 2 {
+		cuts = append(cuts, []int{i, i + 1})
+	}
+	// A few overlapping triples to break pure independence of cut events.
+	for i := 0; i+2 < nComp; i += 7 {
+		cuts = append(cuts, []int{i, i + 1, i + 2})
+	}
+	cs := &CutSystem{Cuts: cuts, FailP: failP}
+	exact, err := cs.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevWidth := math.Inf(1)
+	for _, keep := range []int{2, 5, 10, 20, len(cuts)} {
+		res, err := cs.TruncatedBounds(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lower > exact+1e-15 {
+			t.Errorf("keep=%d: lower %g above exact %g", keep, res.Lower, exact)
+		}
+		if res.Upper < exact-1e-15 {
+			t.Errorf("keep=%d: upper %g below exact %g", keep, res.Upper, exact)
+		}
+		if res.Width() > prevWidth+1e-15 {
+			t.Errorf("keep=%d: width %g did not shrink from %g", keep, res.Width(), prevWidth)
+		}
+		prevWidth = res.Width()
+	}
+	// Full keep: width zero (everything exact).
+	full, _ := cs.TruncatedBounds(0)
+	if full.Width() > 1e-15 {
+		t.Errorf("full truncation width %g, want 0", full.Width())
+	}
+	if full.Discarded != 0 {
+		t.Errorf("full truncation discarded %d cuts", full.Discarded)
+	}
+}
+
+func TestBoundsBracketProperty(t *testing.T) {
+	// Property: for random small systems, rare-event and EP upper bounds
+	// dominate the exact value.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nComp := 3 + rng.Intn(6)
+		failP := make([]float64, nComp)
+		for i := range failP {
+			failP[i] = rng.Float64() * 0.3
+		}
+		nCuts := 1 + rng.Intn(5)
+		cuts := make([][]int, nCuts)
+		for c := range cuts {
+			size := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			for len(seen) < size {
+				seen[rng.Intn(nComp)] = true
+			}
+			for v := range seen {
+				cuts[c] = append(cuts[c], v)
+			}
+		}
+		cs := &CutSystem{Cuts: cuts, FailP: failP}
+		exact, err := cs.Exact()
+		if err != nil {
+			return false
+		}
+		re, err := cs.RareEvent()
+		if err != nil {
+			return false
+		}
+		ep, err := cs.EsaryProschanUpper()
+		if err != nil {
+			return false
+		}
+		tr, err := cs.TruncatedBounds(nCuts / 2)
+		if err != nil {
+			return false
+		}
+		return re >= exact-1e-12 && ep >= exact-1e-12 &&
+			tr.Lower <= exact+1e-12 && tr.Upper >= exact-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	empty := &CutSystem{FailP: []float64{0.1}}
+	if _, err := empty.RareEvent(); !errors.Is(err, ErrNoCuts) {
+		t.Errorf("no cuts: %v", err)
+	}
+	bad := &CutSystem{Cuts: [][]int{{0}}, FailP: []float64{1.5}}
+	if _, err := bad.RareEvent(); !errors.Is(err, ErrBadProb) {
+		t.Errorf("bad prob: %v", err)
+	}
+	oob := &CutSystem{Cuts: [][]int{{3}}, FailP: []float64{0.1}}
+	if _, err := oob.Exact(); !errors.Is(err, ErrBadCut) {
+		t.Errorf("out of range: %v", err)
+	}
+	cs, _ := bridgeSystem(0.1)
+	if _, err := cs.EsaryProschanLower(nil); err == nil {
+		t.Error("empty paths accepted")
+	}
+	if _, err := cs.Bonferroni(0); err == nil {
+		t.Error("order 0 accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableAddRowAndPrint(t *testing.T) {
+	tbl := &Table{ID: "T1", Title: "demo", Columns: []string{"a", "bb"}}
+	if err := tbl.AddRow("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("10", "200"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("only one"); !errors.Is(err, ErrBadTable) {
+		t.Errorf("short row: %v", err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "T1 — demo") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "200") {
+		t.Errorf("missing cell: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header, columns, separator, 2 rows
+		t.Errorf("lines = %d: %q", len(lines), out)
+	}
+	empty := &Table{ID: "X"}
+	if err := empty.Fprint(&strings.Builder{}); !errors.Is(err, ErrBadTable) {
+		t.Errorf("no columns: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	mk := func(id string) Experiment {
+		return Experiment{ID: id, Title: id, Run: func() (*Table, error) {
+			tbl := &Table{ID: id, Title: id, Columns: []string{"v"}}
+			_ = tbl.AddRow("1")
+			return tbl, nil
+		}}
+	}
+	r, err := NewRegistry(mk("A"), mk("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.IDs(); len(got) != 2 || got[0] != "A" {
+		t.Errorf("ids = %v", got)
+	}
+	if _, err := r.Get("A"); err != nil {
+		t.Errorf("get A: %v", err)
+	}
+	if _, err := r.Get("zzz"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	var sb strings.Builder
+	if err := r.RunAll(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "B — B") {
+		t.Errorf("runall output: %q", sb.String())
+	}
+	if _, err := NewRegistry(mk("A"), mk("A")); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if _, err := NewRegistry(Experiment{ID: "incomplete"}); err == nil {
+		t.Error("missing Run accepted")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "t", Columns: []string{"x", "y"}}
+	_ = tbl.AddRow("1", "a,b") // comma forces quoting
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,\"a,b\"\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+	empty := &Table{}
+	if err := empty.WriteCSV(&strings.Builder{}); !errors.Is(err, ErrBadTable) {
+		t.Errorf("no columns: %v", err)
+	}
+}

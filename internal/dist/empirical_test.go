@@ -1,0 +1,138 @@
+package dist_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/phfit"
+)
+
+func TestEmpiricalBasics(t *testing.T) {
+	e, err := dist.NewEmpirical([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 4 {
+		t.Errorf("n = %d", e.N())
+	}
+	if e.Mean() != 2 {
+		t.Errorf("mean = %g", e.Mean())
+	}
+	// CDF steps: F(0.5)=0, F(1)=0.25, F(2)=0.75, F(3)=1.
+	cases := map[float64]float64{0.5: 0, 1: 0.25, 1.5: 0.25, 2: 0.75, 3: 1, 10: 1}
+	for x, want := range cases {
+		if got := e.CDF(x); got != want {
+			t.Errorf("CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+	q, err := e.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 2 {
+		t.Errorf("median = %g, want 2", q)
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := dist.NewEmpirical(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := dist.NewEmpirical([]float64{1, -2}); err == nil {
+		t.Error("negative observation accepted")
+	}
+	if _, err := dist.NewEmpirical([]float64{math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestKSSelfDistanceSmall(t *testing.T) {
+	// Large exponential sample vs its own source: KS ~ O(1/sqrt(n)).
+	rng := rand.New(rand.NewSource(8))
+	src := dist.MustExponential(0.5)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = src.Rand(rng)
+	}
+	e, err := dist.NewEmpirical(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := e.KolmogorovSmirnov(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 99.9% KS critical value ≈ 1.95/sqrt(n) ≈ 0.0276.
+	if ks > 0.0276 {
+		t.Errorf("KS = %g, too large for matching source", ks)
+	}
+	// Against a wrong distribution the distance must be clearly larger.
+	wrong := dist.MustExponential(2)
+	ksWrong, err := e.KolmogorovSmirnov(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksWrong < 10*ks {
+		t.Errorf("KS against wrong dist %g should dwarf %g", ksWrong, ks)
+	}
+}
+
+func TestMeasurementToPhaseTypePipeline(t *testing.T) {
+	// The full measurement loop: sample a Weibull "field data" set, fit a
+	// phase-type via moments, and verify the fit by KS against the data.
+	rng := rand.New(rand.NewSource(12))
+	field, err := dist.NewWeibull(2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := make([]float64, 4000)
+	for i := range sample {
+		sample[i] = field.Rand(rng)
+	}
+	emp, err := dist.NewEmpirical(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := phfit.FitTwoMoment(emp.Mean(), emp.Var()/(emp.Mean()*emp.Mean()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := emp.KolmogorovSmirnov(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-moment PH fit of Weibull(2) lands within a few percent sup-norm.
+	if ks > 0.05 {
+		t.Errorf("KS of PH fit vs field data = %g, want < 0.05", ks)
+	}
+	// The exponential with the same mean is a much worse fit.
+	expFit := dist.MustExponential(1 / emp.Mean())
+	ksExp, err := emp.KolmogorovSmirnov(expFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksExp < 2*ks {
+		t.Errorf("exponential KS %g should be far worse than PH %g", ksExp, ks)
+	}
+}
+
+func TestEmpiricalBootstrapSampling(t *testing.T) {
+	e, err := dist.NewEmpirical([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		v := e.Rand(rng)
+		if v != 1 && v != 2 && v != 3 {
+			t.Fatalf("bootstrap drew %g outside sample", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("bootstrap saw %d distinct values, want 3", len(seen))
+	}
+}

@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Mixture is a finite mixture of lifetime distributions: with probability
+// Weights[i] the lifetime follows Components[i]. Mixtures model multi-mode
+// behaviour such as repair times that are either a quick reboot or a slow
+// field replacement.
+type Mixture struct {
+	weights []float64
+	comps   []Distribution
+}
+
+var _ Distribution = (*Mixture)(nil)
+
+// NewMixture builds a mixture; weights must be positive and sum to 1.
+func NewMixture(weights []float64, comps []Distribution) (*Mixture, error) {
+	if len(weights) != len(comps) || len(weights) == 0 {
+		return nil, fmt.Errorf("mixture: %d weights for %d components: %w",
+			len(weights), len(comps), ErrBadParam)
+	}
+	var sum float64
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("mixture: weight[%d]=%g: %w", i, w, ErrBadParam)
+		}
+		if comps[i] == nil {
+			return nil, fmt.Errorf("mixture: component %d nil: %w", i, ErrBadParam)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("mixture: weights sum to %g: %w", sum, ErrBadParam)
+	}
+	return &Mixture{
+		weights: append([]float64(nil), weights...),
+		comps:   append([]Distribution(nil), comps...),
+	}, nil
+}
+
+// CDF returns the weighted component CDF.
+func (m *Mixture) CDF(t float64) float64 {
+	var s float64
+	for i, w := range m.weights {
+		s += w * m.comps[i].CDF(t)
+	}
+	return s
+}
+
+// PDF returns the weighted component density.
+func (m *Mixture) PDF(t float64) float64 {
+	var s float64
+	for i, w := range m.weights {
+		s += w * m.comps[i].PDF(t)
+	}
+	return s
+}
+
+// Mean returns Σ w_i·E[X_i].
+func (m *Mixture) Mean() float64 {
+	var s float64
+	for i, w := range m.weights {
+		s += w * m.comps[i].Mean()
+	}
+	return s
+}
+
+// Var returns the mixture variance via the law of total variance.
+func (m *Mixture) Var() float64 {
+	mean := m.Mean()
+	var s float64
+	for i, w := range m.weights {
+		mi := m.comps[i].Mean()
+		s += w * (m.comps[i].Var() + (mi-mean)*(mi-mean))
+	}
+	return s
+}
+
+// Quantile inverts the mixture CDF numerically.
+func (m *Mixture) Quantile(p float64) (float64, error) {
+	return numericQuantile(m.CDF, p)
+}
+
+// Rand draws a component by weight, then a sample from it.
+func (m *Mixture) Rand(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for i, w := range m.weights {
+		if u < w {
+			return m.comps[i].Rand(rng)
+		}
+		u -= w
+	}
+	return m.comps[len(m.comps)-1].Rand(rng)
+}
+
+// String implements fmt.Stringer.
+func (m *Mixture) String() string {
+	var sb strings.Builder
+	sb.WriteString("Mix(")
+	for i, w := range m.weights {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%.3g×%v", w, m.comps[i])
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

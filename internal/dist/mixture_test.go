@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMixtureMatchesHyperexponential(t *testing.T) {
+	// A mixture of exponentials IS a hyperexponential: compare against the
+	// phase-type construction.
+	probs := []float64{0.3, 0.7}
+	rates := []float64{0.5, 4.0}
+	mix, err := NewMixture(probs, []Distribution{
+		MustExponential(rates[0]), MustExponential(rates[1]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := NewHyperexponential(probs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(mix.Mean(), ph.Mean()) > 1e-12 {
+		t.Errorf("mean %g vs %g", mix.Mean(), ph.Mean())
+	}
+	if relErr(mix.Var(), ph.Var()) > 1e-12 {
+		t.Errorf("var %g vs %g", mix.Var(), ph.Var())
+	}
+	for _, x := range []float64{0.1, 0.8, 3, 10} {
+		if relErr(mix.CDF(x), ph.CDF(x)) > 1e-8 {
+			t.Errorf("CDF(%g): %g vs %g", x, mix.CDF(x), ph.CDF(x))
+		}
+	}
+}
+
+func TestMixtureBimodalRepair(t *testing.T) {
+	// 90% quick reboot (lognormal ~0.1h), 10% field replacement (~8h).
+	quick, err := NewLognormalFromMoments(0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewLognormalFromMoments(8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := NewMixture([]float64{0.9, 0.1}, []Distribution{quick, slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.9*0.1 + 0.1*8.0
+	if relErr(mix.Mean(), wantMean) > 1e-12 {
+		t.Errorf("mean = %g, want %g", mix.Mean(), wantMean)
+	}
+	// Bimodality: CDF nearly flat between the modes.
+	if mix.CDF(1)-mix.CDF(0.5) > 0.02 {
+		t.Errorf("CDF should be flat between modes: %g vs %g", mix.CDF(0.5), mix.CDF(1))
+	}
+	// High CV relative to either component alone.
+	cv := math.Sqrt(mix.Var()) / mix.Mean()
+	if cv < 1.5 {
+		t.Errorf("bimodal cv = %g, want > 1.5", cv)
+	}
+	// Quantile roundtrip.
+	q, err := mix.Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(mix.CDF(q), 0.95) > 1e-6 {
+		t.Errorf("quantile roundtrip: %g", mix.CDF(q))
+	}
+}
+
+func TestMixtureSampling(t *testing.T) {
+	mix, err := NewMixture([]float64{0.5, 0.5}, []Distribution{
+		MustExponential(1), MustExponential(10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += mix.Rand(rng)
+	}
+	got := sum / n
+	se := math.Sqrt(mix.Var() / n)
+	if math.Abs(got-mix.Mean()) > 4*se {
+		t.Errorf("sample mean %g, want %g ± %g", got, mix.Mean(), 4*se)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	e := MustExponential(1)
+	cases := []struct {
+		w []float64
+		c []Distribution
+	}{
+		{w: nil, c: nil},
+		{w: []float64{0.5}, c: []Distribution{e, e}},
+		{w: []float64{0.5, 0.4}, c: []Distribution{e, e}},
+		{w: []float64{-0.5, 1.5}, c: []Distribution{e, e}},
+		{w: []float64{0.5, 0.5}, c: []Distribution{e, nil}},
+	}
+	for i, tc := range cases {
+		if _, err := NewMixture(tc.w, tc.c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

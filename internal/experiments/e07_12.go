@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/markov"
+	"repro/internal/mrgp"
+	"repro/internal/phfit"
+	"repro/internal/relgraph"
+	"repro/internal/sim"
+	"repro/internal/uncertainty"
+)
+
+// duplexChain builds the shared-repair duplex CTMC used by several
+// experiments.
+func duplexChain(lam, mu float64) (*markov.CTMC, error) {
+	c := markov.NewCTMC()
+	if err := c.AddRate("2", "1", 2*lam); err != nil {
+		return nil, err
+	}
+	if err := c.AddRate("1", "0", lam); err != nil {
+		return nil, err
+	}
+	if err := c.AddRate("1", "2", mu); err != nil {
+		return nil, err
+	}
+	if err := c.AddRate("0", "1", mu); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// E7Transient computes the duplex system's point availability A(t) by
+// uniformization and checks each value against a simulation confidence
+// interval.
+func E7Transient() (*core.Table, error) {
+	t := &core.Table{
+		ID:      "E7",
+		Title:   "Duplex transient availability: uniformization vs simulation (99% CI)",
+		Columns: []string{"t", "A_uniformization", "sim_lo", "sim_hi", "inside_CI"},
+		Notes:   "every analytic point falls inside the simulation CI; A(t) decays from 1 to the steady state",
+	}
+	lam, mu := 0.05, 1.0
+	c, err := duplexChain(lam, mu)
+	if err != nil {
+		return nil, err
+	}
+	p0, err := c.InitialAt("2")
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.NewCTMCPathSimulator(c)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(2024))
+	for _, tt := range []float64{0.5, 2, 5, 10, 50} {
+		p, err := c.Transient(tt, p0, markov.TransientOptions{})
+		if err != nil {
+			return nil, err
+		}
+		a, err := c.ProbSum(p, "2", "1")
+		if err != nil {
+			return nil, err
+		}
+		ci, err := s.EstimateTransientProb(rng, "2", tt, []string{"2", "1"}, 20000, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		inside := "yes"
+		if !ci.Contains(a) {
+			inside = "NO"
+		}
+		if err := t.AddRow(f64(tt), f64p(a, 6), f64p(ci.Lo, 6), f64p(ci.Hi, 6), inside); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// E8PhaseType measures how the Erlang-k expansion of a deterministic-ish
+// Weibull lifetime converges: the sup-norm error of the PH reliability
+// curve against the exact Weibull R(t) shrinks as phases are added.
+func E8PhaseType() (*core.Table, error) {
+	t := &core.Table{
+		ID:      "E8",
+		Title:   "Phase-type expansion of a Weibull(2) lifetime: CDF sup-error vs phases",
+		Columns: []string{"phases", "fit_mean", "fit_scv", "sup_error"},
+		Notes:   "mean-only Erlang error is U-shaped in k (best near k = 1/SCV ≈ 3.7); the two-moment fit hits that sweet spot automatically",
+	}
+	w, err := dist.NewWeibull(2, 100)
+	if err != nil {
+		return nil, err
+	}
+	grid := make([]float64, 0, 60)
+	for i := 1; i <= 60; i++ {
+		grid = append(grid, float64(i)*5) // 5..300 covers the CDF body
+	}
+	supErr := func(ph *dist.PhaseType) float64 {
+		var worst float64
+		for _, x := range grid {
+			if d := math.Abs(ph.CDF(x) - w.CDF(x)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	// Erlang-k with matched mean only (k fixed): error shrinks with k
+	// because Weibull(2) has SCV ≈ 0.273 < 1.
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		ph, err := dist.NewErlang(k, float64(k)/w.Mean())
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(itoa(k), f64p(ph.Mean(), 4), f64p(ph.SCV(), 4), f64p(supErr(ph), 5)); err != nil {
+			return nil, err
+		}
+	}
+	// Two-moment fit (Tijms mixture) as the recommended operating point.
+	fit, err := phfit.FitDistribution(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.AddRow(itoa(fit.Order())+" (2-moment fit)", f64p(fit.Mean(), 4),
+		f64p(fit.SCV(), 4), f64p(supErr(fit), 5)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// E9Uncertainty propagates lognormal uncertainty in the duplex failure rate
+// into the steady-state availability and reports percentile intervals.
+func E9Uncertainty() (*core.Table, error) {
+	t := &core.Table{
+		ID:      "E9",
+		Title:   "Duplex availability under lognormal failure-rate uncertainty (LHS, n=3000)",
+		Columns: []string{"lambda_cv", "A_mean", "A_p05", "A_p95", "interval_width"},
+		Notes:   "interval width shrinks with parameter uncertainty; nominal availability lies inside every interval",
+	}
+	nominalLam, mu := 0.01, 1.0
+	model := func(p map[string]float64) (float64, error) {
+		c, err := duplexChain(p["lambda"], mu)
+		if err != nil {
+			return 0, err
+		}
+		pi, err := c.SteadyStateMap()
+		if err != nil {
+			return 0, err
+		}
+		return pi["2"] + pi["1"], nil
+	}
+	nominalChain, err := duplexChain(nominalLam, mu)
+	if err != nil {
+		return nil, err
+	}
+	nomPi, err := nominalChain.SteadyStateMap()
+	if err != nil {
+		return nil, err
+	}
+	nominalA := nomPi["2"] + nomPi["1"]
+	prevWidth := math.Inf(1)
+	for _, cv := range []float64{0.5, 0.3, 0.1} {
+		lnd, err := dist.NewLognormalFromMoments(nominalLam, cv)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(77))
+		res, err := uncertainty.Propagate(model,
+			[]uncertainty.Param{{Name: "lambda", Dist: lnd}},
+			uncertainty.Options{Samples: 3000, LatinHypercube: true}, rng)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := res.Interval(0.9)
+		if err != nil {
+			return nil, err
+		}
+		if !(lo <= nominalA && nominalA <= hi) {
+			return nil, fmt.Errorf("E9: nominal %g outside [%g, %g]", nominalA, lo, hi)
+		}
+		width := hi - lo
+		if width > prevWidth {
+			return nil, fmt.Errorf("E9: width %g grew from %g as cv shrank", width, prevWidth)
+		}
+		prevWidth = width
+		if err := t.AddRow(f64(cv), f64p(res.Mean, 8), f64p(lo, 8), f64p(hi, 8), f64(width)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// E10SPN sweeps the coverage factor of an imperfect-coverage model built as
+// a GSPN (with immediate transitions) and as a hand-built CTMC, reporting
+// both availabilities and their difference (which must vanish).
+func E10SPN() (*core.Table, error) {
+	t := &core.Table{
+		ID:      "E10",
+		Title:   "Imperfect-coverage model: GSPN-generated CTMC vs hand-built chain",
+		Columns: []string{"coverage", "tangible_states", "A_spn", "A_hand", "abs_diff"},
+		Notes:   "vanishing markings are eliminated exactly; both formulations agree to solver precision",
+	}
+	lam, muD, muF := 0.02, 2.0, 0.2
+	for _, cov := range []float64{0.5, 0.9, 0.99, 0.999} {
+		net, err := coverageNet(lam, muD, muF, cov)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := net.Generate(0)
+		if err != nil {
+			return nil, err
+		}
+		oi, err := net.PlaceIndex("ok")
+		if err != nil {
+			return nil, err
+		}
+		di, err := net.PlaceIndex("degraded")
+		if err != nil {
+			return nil, err
+		}
+		aSPN, err := tc.ProbWhere(func(m spnMarking) bool { return m[oi] == 1 || m[di] == 1 })
+		if err != nil {
+			return nil, err
+		}
+		hand := markov.NewCTMC()
+		if err := hand.AddRate("ok", "deg", lam*cov); err != nil {
+			return nil, err
+		}
+		if err := hand.AddRate("ok", "fail", lam*(1-cov)); err != nil {
+			return nil, err
+		}
+		if err := hand.AddRate("deg", "ok", muD); err != nil {
+			return nil, err
+		}
+		if err := hand.AddRate("fail", "ok", muF); err != nil {
+			return nil, err
+		}
+		pi, err := hand.SteadyStateMap()
+		if err != nil {
+			return nil, err
+		}
+		aHand := pi["ok"] + pi["deg"]
+		diff := math.Abs(aSPN - aHand)
+		if diff > 1e-12 {
+			return nil, fmt.Errorf("E10: SPN %g vs hand %g", aSPN, aHand)
+		}
+		if err := t.AddRow(f64(cov), itoa(tc.NumTangible()), f64(aSPN), f64(aHand), f64(diff)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// E11Rejuvenation sweeps the deterministic rejuvenation interval of the
+// MRGP model and reports planned, unplanned, and total unavailability —
+// the classic U-shaped curve with an interior optimum.
+//
+// Aging is modeled by a two-stage (hypoexponential) lifetime: robust →
+// degraded (latent, rate lamD) → failed (rate lamF). The rejuvenation timer
+// runs in both up states (restarting on the robust→degraded jump, the
+// clock-resetting variant expressible with state-local clocks): firing in
+// robust wastes healthy time, firing in degraded prevents an expensive
+// failure. Too-short intervals rejuvenate constantly; too-long intervals
+// admit failures — hence the interior optimum. With an exponential (
+// memoryless) lifetime no such optimum exists, which is exactly why the
+// tutorial needs MRGPs here.
+func E11Rejuvenation() (*core.Table, error) {
+	t := &core.Table{
+		ID:      "E11",
+		Title:   "Software rejuvenation MRGP: unavailability vs rejuvenation interval",
+		Columns: []string{"interval", "P_failed(unplanned)", "P_rejuv(planned)", "total_unavail"},
+		Notes:   "short intervals waste planned downtime, long intervals admit failures; the optimum is interior",
+	}
+	lamD, lamF := 0.1, 0.05 // degradation and failure rates (aging lifetime)
+	muF, muR := 0.1, 2.0    // failures repair 20x slower than rejuvenation
+	// Baseline without rejuvenation: robust → degraded → failed → robust.
+	baselineChain := markov.NewCTMC()
+	if err := baselineChain.AddRate("robust", "degraded", lamD); err != nil {
+		return nil, err
+	}
+	if err := baselineChain.AddRate("degraded", "failed", lamF); err != nil {
+		return nil, err
+	}
+	if err := baselineChain.AddRate("failed", "robust", muF); err != nil {
+		return nil, err
+	}
+	base, err := baselineChain.SteadyStateMap()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.AddRow("no rejuvenation", f64(base["failed"]), "0", f64(base["failed"])); err != nil {
+		return nil, err
+	}
+	for _, tau := range []float64{1, 2, 5, 10, 20, 50, 200} {
+		p := mrgp.New()
+		if err := p.AddExp("robust", "degraded", lamD); err != nil {
+			return nil, err
+		}
+		if err := p.SetDeterministic("robust", "rejuv", tau); err != nil {
+			return nil, err
+		}
+		if err := p.AddExp("degraded", "failed", lamF); err != nil {
+			return nil, err
+		}
+		if err := p.SetDeterministic("degraded", "rejuv", tau); err != nil {
+			return nil, err
+		}
+		if err := p.AddExp("failed", "robust", muF); err != nil {
+			return nil, err
+		}
+		if err := p.AddExp("rejuv", "robust", muR); err != nil {
+			return nil, err
+		}
+		pi, err := p.SteadyState()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(f64(tau), f64(pi["failed"]), f64(pi["rejuv"]),
+			f64(pi["failed"]+pi["rejuv"])); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// E12RelGraph solves the bridge network and growing ladder networks by
+// factoring, cross-checks against the BDD oracle, and shows the rare-event
+// cut approximation alongside.
+func E12RelGraph() (*core.Table, error) {
+	t := &core.Table{
+		ID:      "E12",
+		Title:   "Network reliability: factoring vs BDD vs cut-based rare-event approximation",
+		Columns: []string{"network", "edges", "R_factoring", "R_bdd", "unrel_rare_event", "factoring_ms"},
+		Notes:   "factoring equals the BDD oracle; rare-event approximation of unreliability is an upper bound",
+	}
+	addNetwork := func(name string, g *relgraph.Graph, src, dst string) error {
+		var rf float64
+		dur, err := timed(func() error {
+			var err error
+			rf, err = g.Reliability(src, dst)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		rb, err := g.ReliabilityBDD(src, dst)
+		if err != nil {
+			return err
+		}
+		if math.Abs(rf-rb) > 1e-10 {
+			return fmt.Errorf("E12: factoring %g vs BDD %g on %s", rf, rb, name)
+		}
+		cuts, err := g.MinimalCuts(src, dst)
+		if err != nil {
+			return err
+		}
+		relOf := make(map[string]float64, len(g.Edges()))
+		for _, e := range g.Edges() {
+			relOf[e.Name] = e.Rel
+		}
+		var rare float64
+		for _, cut := range cuts {
+			p := 1.0
+			for _, name := range cut {
+				p *= 1 - relOf[name]
+			}
+			rare += p
+		}
+		if rare < (1-rf)-1e-12 {
+			return fmt.Errorf("E12: rare-event %g below exact unreliability %g", rare, 1-rf)
+		}
+		return t.AddRow(name, itoa(len(g.Edges())), f64(rf), f64(rb), f64(rare), ms(dur))
+	}
+	// Bridge.
+	bridge := relgraph.New()
+	for _, e := range []relgraph.Edge{
+		{Name: "e1", From: "s", To: "a", Rel: 0.95},
+		{Name: "e2", From: "s", To: "b", Rel: 0.9},
+		{Name: "e3", From: "a", To: "b", Rel: 0.8},
+		{Name: "e4", From: "a", To: "t", Rel: 0.95},
+		{Name: "e5", From: "b", To: "t", Rel: 0.9},
+	} {
+		if err := bridge.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	if err := addNetwork("bridge", bridge, "s", "t"); err != nil {
+		return nil, err
+	}
+	// Ladders of growing length.
+	for _, rungs := range []int{3, 6, 9} {
+		g := relgraph.New()
+		prev := "s"
+		for i := 0; i < rungs; i++ {
+			node := fmt.Sprintf("n%d", i)
+			if err := g.AddEdge(relgraph.Edge{Name: fmt.Sprintf("a%d", i), From: prev, To: node, Rel: 0.9}); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(relgraph.Edge{Name: fmt.Sprintf("b%d", i), From: prev, To: node, Rel: 0.85}); err != nil {
+				return nil, err
+			}
+			prev = node
+		}
+		if err := g.AddEdge(relgraph.Edge{Name: "last", From: prev, To: "t", Rel: 0.99}); err != nil {
+			return nil, err
+		}
+		if err := addNetwork(fmt.Sprintf("ladder-%d", rungs), g, "s", "t"); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// E13Lumping is the extension experiment for largeness *avoidance*: the
+// 2^n detailed chain of n identical shared-repair components lumps exactly
+// to the (n+1)-state count chain. The table reports both state counts,
+// both availabilities (identical), and both solve times — the counterpart
+// of E3, which shows what happens when symmetry is absent.
+func E13Lumping() (*core.Table, error) {
+	t := &core.Table{
+		ID:      "E13",
+		Title:   "Largeness avoidance: exact lumping of identical components (extension)",
+		Columns: []string{"components", "detailed_states", "lumped_states", "A_detailed", "A_lumped", "detailed_ms", "lumped_ms"},
+		Notes:   "availabilities identical to solver precision; the lumped chain solves in microseconds regardless of n",
+	}
+	lam, mu := 0.02, 1.0
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		detailed, err := identicalSharedRepairChain(n, lam, mu)
+		if err != nil {
+			return nil, err
+		}
+		toBlock := func(state string) string {
+			mask, _ := strconv.Atoi(strings.TrimPrefix(state, "m"))
+			return "k" + strconv.Itoa(bits.OnesCount(uint(mask)))
+		}
+		var aDet float64
+		detDur, err := timed(func() error {
+			pi, err := detailed.SteadyState()
+			if err != nil {
+				return err
+			}
+			// Up when at most n-1 failed is trivial; use "not all failed".
+			var allFailed float64
+			for i, name := range detailed.StateNames() {
+				if toBlock(name) == "k"+strconv.Itoa(n) {
+					allFailed += pi[i]
+				}
+			}
+			aDet = 1 - allFailed
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		lumped, err := detailed.Lump(toBlock, 0)
+		if err != nil {
+			return nil, err
+		}
+		var aLum float64
+		lumDur, err := timed(func() error {
+			pi, err := lumped.SteadyStateMap()
+			if err != nil {
+				return err
+			}
+			aLum = 1 - pi["k"+strconv.Itoa(n)]
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if diff := aDet - aLum; diff > 1e-10 || diff < -1e-10 {
+			return nil, fmt.Errorf("E13: lumped %g vs detailed %g", aLum, aDet)
+		}
+		if err := t.AddRow(itoa(n), itoa(detailed.NumStates()), itoa(lumped.NumStates()),
+			f64(aDet), f64(aLum), ms(detDur), ms(lumDur)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// identicalSharedRepairChain is the symmetric variant of E3's chain (all
+// components share one failure rate, enabling exact lumping).
+func identicalSharedRepairChain(n int, lam, mu float64) (*markov.CTMC, error) {
+	c := markov.NewCTMC()
+	name := func(mask int) string { return "m" + strconv.Itoa(mask) }
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				if err := c.AddRate(name(mask), name(mask|1<<i), lam); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if mask != 0 {
+			low := 0
+			for mask&(1<<low) == 0 {
+				low++
+			}
+			if err := c.AddRate(name(mask), name(mask&^(1<<low)), mu); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}

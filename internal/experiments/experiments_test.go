@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.Fields(s)[0], 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	r, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := r.IDs()
+	if len(ids) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(ids))
+	}
+	for i, id := range ids {
+		want := "E" + strconv.Itoa(i+1)
+		if id != want {
+			t.Errorf("ids[%d] = %s, want %s", i, id, want)
+		}
+	}
+}
+
+func runExp(t *testing.T, id string) *core.Table {
+	t.Helper()
+	r, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tbl
+}
+
+func TestE1Shape(t *testing.T) {
+	tbl := runExp(t, "E1")
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// BDD nodes grow roughly linearly: nodes(400) < 50 × nodes(10).
+	n10 := parse(t, tbl.Rows[0][1])
+	n400 := parse(t, tbl.Rows[4][1])
+	if n400 > 50*n10 {
+		t.Errorf("BDD growth superlinear: %g vs %g", n400, n10)
+	}
+	// Availability decreases with more series stages.
+	if parse(t, tbl.Rows[0][2]) <= parse(t, tbl.Rows[4][2]) {
+		t.Errorf("availability should fall with size")
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tbl := runExp(t, "E2")
+	for _, row := range tbl.Rows {
+		top := parse(t, row[3])
+		bound := parse(t, row[4])
+		if bound < top-1e-15 {
+			t.Errorf("rare-event %g below exact %g", bound, top)
+		}
+		// Cut sets = pairs + shared event.
+		pairs := parse(t, row[0])
+		if parse(t, row[2]) != pairs+1 {
+			t.Errorf("mincuts = %s, want %g", row[2], pairs+1)
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tbl := runExp(t, "E3")
+	for i, row := range tbl.Rows {
+		n := parse(t, row[0])
+		states := parse(t, row[1])
+		if states != float64(int(1)<<int(n)) {
+			t.Errorf("row %d: states = %g, want 2^%g", i, states, n)
+		}
+		a := parse(t, row[2])
+		if a <= 0 || a >= 1 {
+			t.Errorf("row %d: p_all_up = %g", i, a)
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tbl := runExp(t, "E4")
+	prevWidth := 1e18
+	for i, row := range tbl.Rows {
+		lo, hi, width := parse(t, row[2]), parse(t, row[3]), parse(t, row[4])
+		if lo > hi {
+			t.Errorf("row %d: lo %g > hi %g", i, lo, hi)
+		}
+		if width > prevWidth+1e-15 {
+			t.Errorf("row %d: width %g did not tighten from %g", i, width, prevWidth)
+		}
+		prevWidth = width
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if parse(t, last[4]) > 1e-12 {
+		t.Errorf("full-keep width = %s, want 0", last[4])
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tbl := runExp(t, "E5")
+	for i, row := range tbl.Rows {
+		aRBD, aCTMC := parse(t, row[1]), parse(t, row[2])
+		if aRBD < aCTMC-1e-12 {
+			t.Errorf("row %d: RBD %g not optimistic vs %g", i, aRBD, aCTMC)
+		}
+		ratio := parse(t, row[3])
+		if ratio < 1-1e-9 || ratio > 2+1e-9 {
+			t.Errorf("row %d: unavailability ratio %g outside [1,2]", i, ratio)
+		}
+	}
+	// In the rare-failure regime the queueing contribution doubles the
+	// unavailability (ratio → 2).
+	if r0 := parse(t, tbl.Rows[0][3]); r0 < 1.99 {
+		t.Errorf("rare-failure ratio = %g, want ≈ 2", r0)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tbl := runExp(t, "E6")
+	for i, row := range tbl.Rows {
+		k := parse(t, row[0])
+		mono := parse(t, row[1])
+		want := 1.0
+		for j := 0; j < int(k); j++ {
+			want *= 3
+		}
+		if mono != want {
+			t.Errorf("row %d: monolithic states %g, want 3^%g = %g", i, mono, k, want)
+		}
+		if parse(t, row[5]) > 1e-9 {
+			t.Errorf("row %d: hierarchy differs from monolith by %s", i, row[5])
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tbl := runExp(t, "E7")
+	prevA := 1.1
+	for i, row := range tbl.Rows {
+		if row[4] != "yes" {
+			t.Errorf("row %d: analytic point outside simulation CI", i)
+		}
+		a := parse(t, row[1])
+		if a >= prevA {
+			t.Errorf("row %d: A(t) should decay (got %g after %g)", i, a, prevA)
+		}
+		prevA = a
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tbl := runExp(t, "E8")
+	// Weibull(2) has SCV ≈ 0.273, so the best mean-only Erlang order is
+	// k ≈ 4: error falls from k=1 to k=4 and rises again beyond.
+	erlangErrs := make([]float64, 0, len(tbl.Rows)-1)
+	for i := 0; i < len(tbl.Rows)-1; i++ {
+		erlangErrs = append(erlangErrs, parse(t, tbl.Rows[i][3]))
+	}
+	// k values are 1,2,4,8,16 → index 2 is k=4.
+	for i := 1; i <= 2; i++ {
+		if erlangErrs[i] >= erlangErrs[i-1] {
+			t.Errorf("Erlang error should fall to k=4: %v", erlangErrs)
+		}
+	}
+	for i := 3; i < len(erlangErrs); i++ {
+		if erlangErrs[i] <= erlangErrs[i-1] {
+			t.Errorf("Erlang error should rise beyond k=4 (mean-only fit): %v", erlangErrs)
+		}
+	}
+	// Two-moment fit matches mean of Weibull(2,100) and is at least as good
+	// as every mean-only Erlang order.
+	fitRow := tbl.Rows[len(tbl.Rows)-1]
+	if m := parse(t, fitRow[1]); m < 88 || m > 89 { // Γ(1.5)·100 ≈ 88.62
+		t.Errorf("fit mean = %g", m)
+	}
+	fitErr := parse(t, fitRow[3])
+	for i, e := range erlangErrs {
+		if fitErr > e+1e-9 {
+			t.Errorf("two-moment fit error %g worse than Erlang row %d (%g)", fitErr, i, e)
+		}
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tbl := runExp(t, "E9")
+	prevWidth := 1e18
+	for i, row := range tbl.Rows {
+		lo, hi := parse(t, row[2]), parse(t, row[3])
+		if lo > hi {
+			t.Errorf("row %d: interval inverted", i)
+		}
+		w := parse(t, row[4])
+		if w > prevWidth {
+			t.Errorf("row %d: width %g grew", i, w)
+		}
+		prevWidth = w
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tbl := runExp(t, "E10")
+	for i, row := range tbl.Rows {
+		if parse(t, row[1]) != 3 {
+			t.Errorf("row %d: tangible states = %s, want 3", i, row[1])
+		}
+		if parse(t, row[4]) > 1e-12 {
+			t.Errorf("row %d: SPN vs hand diff = %s", i, row[4])
+		}
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tbl := runExp(t, "E11")
+	// Row 0 is the no-rejuvenation baseline; among the sweep rows the total
+	// unavailability must have an interior minimum strictly below both the
+	// shortest and the longest interval.
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	sweep := tbl.Rows[1:]
+	first := parse(t, sweep[0][3])
+	last := parse(t, sweep[len(sweep)-1][3])
+	best := 1e18
+	for _, row := range sweep {
+		if v := parse(t, row[3]); v < best {
+			best = v
+		}
+	}
+	if !(best < first && best < last) {
+		t.Errorf("no interior optimum: best %g, ends %g / %g", best, first, last)
+	}
+	// Planned downtime decreases with the interval.
+	if parse(t, sweep[0][2]) <= parse(t, sweep[len(sweep)-1][2]) {
+		t.Errorf("planned downtime should fall with longer intervals")
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tbl := runExp(t, "E12")
+	for i, row := range tbl.Rows {
+		rf, rb := parse(t, row[2]), parse(t, row[3])
+		if diff := rf - rb; diff > 1e-10 || diff < -1e-10 {
+			t.Errorf("row %d: factoring %g vs BDD %g", i, rf, rb)
+		}
+		rare := parse(t, row[4])
+		if rare < (1-rf)-1e-12 {
+			t.Errorf("row %d: rare-event %g below exact unreliability %g", i, rare, 1-rf)
+		}
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tbl := runExp(t, "E13")
+	for i, row := range tbl.Rows {
+		n := parse(t, row[0])
+		if parse(t, row[1]) != float64(int(1)<<int(n)) {
+			t.Errorf("row %d: detailed states %s != 2^%g", i, row[1], n)
+		}
+		if parse(t, row[2]) != n+1 {
+			t.Errorf("row %d: lumped states %s != n+1", i, row[2])
+		}
+		if d := parse(t, row[3]) - parse(t, row[4]); d > 1e-10 || d < -1e-10 {
+			t.Errorf("row %d: availabilities differ by %g", i, d)
+		}
+	}
+}
+
+func TestRunAllRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full run in long mode only")
+	}
+	r, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.RunAll(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for i := 1; i <= 13; i++ {
+		if !strings.Contains(out, "E"+strconv.Itoa(i)+" — ") {
+			t.Errorf("output missing E%d", i)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"repro/internal/spn"
+)
+
+// spnMarking aliases the SPN marking type for readability in predicates.
+type spnMarking = spn.Marking
+
+// coverageNet builds the single-component imperfect-coverage GSPN: a
+// failure is covered (probability cov, leading to a fast-repaired degraded
+// state) or uncovered (slow-repaired full failure), resolved by a pair of
+// immediate transitions — the standard use of vanishing markings.
+func coverageNet(lam, muDegraded, muFailed, cov float64) (*spn.Net, error) {
+	n := spn.New()
+	steps := []func() error{
+		func() error { return n.Place("ok", 1) },
+		func() error { return n.Place("choice", 0) },
+		func() error { return n.Place("degraded", 0) },
+		func() error { return n.Place("failed", 0) },
+		func() error { return n.Timed("fail", lam) },
+		func() error { return n.Input("ok", "fail", 1) },
+		func() error { return n.Output("fail", "choice", 1) },
+		func() error { return n.Immediate("covered", cov) },
+		func() error { return n.Input("choice", "covered", 1) },
+		func() error { return n.Output("covered", "degraded", 1) },
+		func() error { return n.Immediate("uncovered", 1-cov) },
+		func() error { return n.Input("choice", "uncovered", 1) },
+		func() error { return n.Output("uncovered", "failed", 1) },
+		func() error { return n.Timed("repairDegraded", muDegraded) },
+		func() error { return n.Input("degraded", "repairDegraded", 1) },
+		func() error { return n.Output("repairDegraded", "ok", 1) },
+		func() error { return n.Timed("repairFailed", muFailed) },
+		func() error { return n.Input("failed", "repairFailed", 1) },
+		func() error { return n.Output("repairFailed", "ok", 1) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,206 @@
+package faulttree
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCCFRedundantPair(t *testing.T) {
+	// Two redundant pumps, each p=0.01, in an AND gate. Without CCF the
+	// top is 1e-4; with beta=0.1 the common cause dominates:
+	// top = P(indep both) + contributions of the shared event.
+	p, beta := 0.01, 0.1
+	a := &Event{Name: "pumpA", Prob: p}
+	b := &Event{Name: "pumpB", Prob: p}
+	tree, err := New(And(Basic(a), Basic(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfTree, err := tree.ApplyCCF([]CCFGroup{{
+		Name: "ccf-pumps", Beta: beta, Members: []string{"pumpA", "pumpB"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := tree.TopStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCCF, err := ccfTree.TopStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: member i fails iff indep_i ∨ common. top = P((i1∨c)(i2∨c))
+	// = P(c) + (1-P(c))·P(i1)P(i2).
+	pi := (1 - beta) * p
+	pc := beta * p
+	want := pc + (1-pc)*pi*pi
+	if relErr(withCCF, want) > 1e-12 {
+		t.Errorf("CCF top = %.12g, want %.12g", withCCF, want)
+	}
+	if withCCF <= base {
+		t.Errorf("CCF should raise the top probability: %g vs %g", withCCF, base)
+	}
+	// Order of magnitude: CCF turns ~p² into ~βp.
+	if withCCF < 0.5*beta*p {
+		t.Errorf("CCF contribution too small: %g", withCCF)
+	}
+}
+
+func TestCCFMinimalCutSetsGainSingleton(t *testing.T) {
+	a := &Event{Name: "a", Prob: 0.01}
+	b := &Event{Name: "b", Prob: 0.01}
+	tree, err := New(And(Basic(a), Basic(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfTree, err := tree.ApplyCCF([]CCFGroup{{
+		Name: "cc", Beta: 0.05, Members: []string{"a", "b"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := ccfTree.MinimalCutSets()
+	foundSingleton := false
+	for _, c := range cuts {
+		if len(c) == 1 && c[0] == "cc" {
+			foundSingleton = true
+		}
+	}
+	if !foundSingleton {
+		t.Errorf("CCF event should be a singleton cut set: %v", cuts)
+	}
+}
+
+func TestCCFLeavesNonMembersAlone(t *testing.T) {
+	a := &Event{Name: "a", Prob: 0.1}
+	b := &Event{Name: "b", Prob: 0.1}
+	other := &Event{Name: "other", Prob: 0.37}
+	tree, err := New(Or(And(Basic(a), Basic(b)), Basic(other)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfTree, err := tree.ApplyCCF([]CCFGroup{{
+		Name: "cc", Beta: 0.2, Members: []string{"a", "b"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range ccfTree.Events() {
+		if e.Name == "other" && e.Prob == 0.37 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("non-member event mutated: %v", ccfTree.Events())
+	}
+}
+
+func TestCCFUnequalMembersUsesMinProb(t *testing.T) {
+	a := &Event{Name: "a", Prob: 0.02}
+	b := &Event{Name: "b", Prob: 0.08}
+	tree, err := New(And(Basic(a), Basic(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfTree, err := tree.ApplyCCF([]CCFGroup{{
+		Name: "cc", Beta: 0.25, Members: []string{"a", "b"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ccfTree.Events() {
+		if e.Name == "cc" && relErr(e.Prob, 0.25*0.02) > 1e-12 {
+			t.Errorf("common-cause prob = %g, want beta·min = %g", e.Prob, 0.25*0.02)
+		}
+	}
+}
+
+func TestCCFValidation(t *testing.T) {
+	a := &Event{Name: "a", Prob: 0.1}
+	b := &Event{Name: "b", Prob: 0.1}
+	tree, err := New(And(Basic(a), Basic(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		groups []CCFGroup
+	}{
+		{name: "empty", groups: nil},
+		{name: "bad beta", groups: []CCFGroup{{Name: "g", Beta: 1.5, Members: []string{"a", "b"}}}},
+		{name: "one member", groups: []CCFGroup{{Name: "g", Beta: 0.1, Members: []string{"a"}}}},
+		{name: "unknown member", groups: []CCFGroup{{Name: "g", Beta: 0.1, Members: []string{"a", "zzz"}}}},
+		{name: "overlapping groups", groups: []CCFGroup{
+			{Name: "g1", Beta: 0.1, Members: []string{"a", "b"}},
+			{Name: "g2", Beta: 0.1, Members: []string{"a", "b"}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tree.ApplyCCF(tc.groups); !errors.Is(err, ErrMalformed) {
+				t.Errorf("want ErrMalformed, got %v", err)
+			}
+		})
+	}
+}
+
+func TestCCFBetaSweepMonotone(t *testing.T) {
+	// Larger beta → larger top probability for a redundant pair.
+	prev := -1.0
+	for _, beta := range []float64{0.01, 0.05, 0.1, 0.3} {
+		a := &Event{Name: "a", Prob: 0.01}
+		b := &Event{Name: "b", Prob: 0.01}
+		tree, err := New(And(Basic(a), Basic(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccfTree, err := tree.ApplyCCF([]CCFGroup{{
+			Name: "cc", Beta: beta, Members: []string{"a", "b"},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := ccfTree.TopStatic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top <= prev {
+			t.Errorf("beta=%g: top %g not increasing (prev %g)", beta, top, prev)
+		}
+		prev = top
+	}
+}
+
+func TestCCFWithKofN(t *testing.T) {
+	// 2-of-3 redundant with CCF across all three members compiles and the
+	// common event becomes a singleton cut.
+	events := []*Event{
+		{Name: "u1", Prob: 0.01},
+		{Name: "u2", Prob: 0.01},
+		{Name: "u3", Prob: 0.01},
+	}
+	tree, err := New(AtLeast(2, Basic(events[0]), Basic(events[1]), Basic(events[2])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfTree, err := tree.ApplyCCF([]CCFGroup{{
+		Name: "cc3", Beta: 0.1, Members: []string{"u1", "u2", "u3"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := ccfTree.MinimalCutSets()
+	if len(cuts) == 0 || len(cuts[0]) != 1 || cuts[0][0] != "cc3" {
+		t.Errorf("first (smallest) cut should be the CCF singleton: %v", cuts)
+	}
+	base, _ := tree.TopStatic()
+	withCCF, err := ccfTree.TopStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCCF <= base {
+		t.Errorf("CCF should raise top: %g vs %g", withCCF, base)
+	}
+}

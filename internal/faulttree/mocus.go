@@ -1,0 +1,134 @@
+package faulttree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdd"
+)
+
+// MOCUS enumerates the minimal cut sets by classic top-down gate expansion
+// (the Method of Obtaining CUt Sets). It requires a coherent tree. maxSets
+// caps the number of intermediate product terms to bound blow-up; pass 0
+// for the default of 1,000,000.
+//
+// MOCUS exists alongside the BDD extraction both as an independent oracle
+// in tests and because it is the algorithm the tutorial's lineage of tools
+// (SHARPE and its contemporaries) historically used.
+func (t *Tree) MOCUS(maxSets int) ([][]string, error) {
+	if !t.coherent {
+		return nil, ErrNonCoherent
+	}
+	if maxSets <= 0 {
+		maxSets = 1_000_000
+	}
+	sets, err := t.mocusRec(t.root, maxSets)
+	if err != nil {
+		return nil, err
+	}
+	cuts := make([]bdd.CutSet, len(sets))
+	for i, s := range sets {
+		cs := make(bdd.CutSet, 0, len(s))
+		for v := range s {
+			cs = append(cs, v)
+		}
+		sort.Ints(cs)
+		cuts[i] = cs
+	}
+	minimal := bdd.Minimize(cuts)
+	out := make([][]string, len(minimal))
+	for i, c := range minimal {
+		names := make([]string, len(c))
+		for j, v := range c {
+			names[j] = t.events[v].Name
+		}
+		out[i] = names
+	}
+	return out, nil
+}
+
+type intSet map[int]bool
+
+func (t *Tree) mocusRec(n *Node, maxSets int) ([]intSet, error) {
+	switch n.kind {
+	case kindBasic:
+		return []intSet{{t.index[n.event]: true}}, nil
+	case kindOr:
+		var out []intSet
+		for _, c := range n.children {
+			sub, err := t.mocusRec(c, maxSets)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			if len(out) > maxSets {
+				return nil, fmt.Errorf("faulttree: MOCUS exceeded %d product terms", maxSets)
+			}
+		}
+		return out, nil
+	case kindAnd:
+		out := []intSet{{}}
+		for _, c := range n.children {
+			sub, err := t.mocusRec(c, maxSets)
+			if err != nil {
+				return nil, err
+			}
+			next := make([]intSet, 0, len(out)*len(sub))
+			for _, a := range out {
+				for _, b := range sub {
+					merged := make(intSet, len(a)+len(b))
+					for v := range a {
+						merged[v] = true
+					}
+					for v := range b {
+						merged[v] = true
+					}
+					next = append(next, merged)
+					if len(next) > maxSets {
+						return nil, fmt.Errorf("faulttree: MOCUS exceeded %d product terms", maxSets)
+					}
+				}
+			}
+			out = next
+		}
+		return out, nil
+	case kindAtLeast:
+		// Expand k-of-n into OR over all k-subsets of AND.
+		nc := len(n.children)
+		var out []intSet
+		idx := make([]int, n.k)
+		var choose func(start, depth int) error
+		choose = func(start, depth int) error {
+			if depth == n.k {
+				group := make([]*Node, n.k)
+				for i, j := range idx {
+					group[i] = n.children[j]
+				}
+				sub, err := t.mocusRec(And(group...), maxSets)
+				if err != nil {
+					return err
+				}
+				out = append(out, sub...)
+				if len(out) > maxSets {
+					return fmt.Errorf("faulttree: MOCUS exceeded %d product terms", maxSets)
+				}
+				return nil
+			}
+			for j := start; j <= nc-(n.k-depth); j++ {
+				idx[depth] = j
+				if err := choose(j+1, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := choose(0, 0); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case kindNot:
+		return nil, ErrNonCoherent
+	default:
+		return nil, fmt.Errorf("%w: unknown node kind %d", ErrMalformed, n.kind)
+	}
+}

@@ -1,0 +1,154 @@
+package faulttree
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestModulesDetectIndependentSubtrees(t *testing.T) {
+	// TOP = OR( AND(a,b), AND(c,d), e ) — two 2-event modules plus a free
+	// event.
+	a, b := ev("a", 0.1), ev("b", 0.2)
+	c, d := ev("c", 0.3), ev("d", 0.4)
+	e := ev("e", 0.05)
+	tr, err := New(Or(
+		And(Basic(a), Basic(b)),
+		And(Basic(c), Basic(d)),
+		Basic(e),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, err := tr.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 {
+		t.Fatalf("modules = %+v, want 2", mods)
+	}
+	// Probabilities are the AND products.
+	wants := map[string]float64{"a": 0.02, "c": 0.12}
+	for _, m := range mods {
+		if len(m.Events) != 2 {
+			t.Errorf("module events = %v", m.Events)
+		}
+		w, ok := wants[m.Events[0]]
+		if !ok {
+			t.Errorf("unexpected module %v", m.Events)
+			continue
+		}
+		if relErr(m.Probability, w) > 1e-12 {
+			t.Errorf("module %v prob = %g, want %g", m.Events, m.Probability, w)
+		}
+	}
+}
+
+func TestModulesRepeatedEventBlocksModule(t *testing.T) {
+	// TOP = OR( AND(a,b), AND(a,c) ): 'a' is shared, so neither AND is a
+	// module.
+	a, b, c := ev("a", 0.1), ev("b", 0.2), ev("c", 0.3)
+	tr, err := New(Or(And(Basic(a), Basic(b)), And(Basic(a), Basic(c))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, err := tr.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 0 {
+		t.Fatalf("modules = %+v, want none (repeated event)", mods)
+	}
+}
+
+func TestTopViaModulesMatchesDirect(t *testing.T) {
+	// Nested structure with modules at several levels.
+	a, b := ev("a", 0.1), ev("b", 0.2)
+	c, d, e := ev("c", 0.3), ev("d", 0.4), ev("e", 0.15)
+	f := ev("f", 0.02)
+	tr, err := New(Or(
+		And(Basic(a), Basic(b)),
+		AtLeast(2, Basic(c), Basic(d), Basic(e)),
+		Basic(f),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := tr.TopStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMods, reducedEvents, err := tr.TopViaModules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(viaMods, direct) > 1e-12 {
+		t.Errorf("modularized %g != direct %g", viaMods, direct)
+	}
+	// 6 events reduce to 2 module pseudo-events + f = 3.
+	if reducedEvents != 3 {
+		t.Errorf("reduced events = %d, want 3", reducedEvents)
+	}
+}
+
+func TestTopViaModulesNoModules(t *testing.T) {
+	a, b, c := ev("a", 0.1), ev("b", 0.2), ev("c", 0.3)
+	tr, err := New(Or(And(Basic(a), Basic(b)), And(Basic(a), Basic(c))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := tr.TopStatic()
+	via, n, err := tr.TopViaModules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(via, direct) > 1e-12 {
+		t.Errorf("via %g != direct %g", via, direct)
+	}
+	if n != 3 {
+		t.Errorf("reduced events = %d, want 3 (no reduction possible)", n)
+	}
+}
+
+func TestModulesNonCoherent(t *testing.T) {
+	a, b := ev("a", 0.1), ev("b", 0.2)
+	tr, err := New(And(Basic(a), Not(Basic(b))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Modules(); !errors.Is(err, ErrNonCoherent) {
+		t.Errorf("want ErrNonCoherent, got %v", err)
+	}
+}
+
+func TestModulesLargeTreeReduction(t *testing.T) {
+	// 40 independent AND-pairs under an OR: every pair is a module, and
+	// the reduced tree has 40 pseudo-events.
+	gates := make([]*Node, 40)
+	for i := range gates {
+		a := ev("a"+itoa(i), 0.01)
+		b := ev("b"+itoa(i), 0.01)
+		gates[i] = And(Basic(a), Basic(b))
+	}
+	tr, err := New(Or(gates...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, err := tr.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 40 {
+		t.Fatalf("modules = %d, want 40", len(mods))
+	}
+	direct, _ := tr.TopStatic()
+	via, n, err := tr.TopViaModules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(via, direct) > 1e-12 {
+		t.Errorf("via %g != direct %g", via, direct)
+	}
+	if n != 40 {
+		t.Errorf("reduced events = %d, want 40", n)
+	}
+}

@@ -1,0 +1,171 @@
+// Package hier implements hierarchical model composition with fixed-point
+// iteration — the tutorial's scalable alternative to monolithic state-space
+// models. Submodels exchange scalar measures through named variables: a
+// lower-level Markov submodel exports a component availability, an upper
+// RBD/fault-tree imports it, and cyclic dependencies (e.g., a repair-person
+// submodel whose load depends on system state) are resolved by iterating
+// the whole composition to a fixed point.
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Submodel is one level of a hierarchical model. Solve consumes the current
+// variable assignment and returns the variables this model exports.
+type Submodel interface {
+	// Name identifies the submodel in error messages.
+	Name() string
+	// Inputs lists the variables the model reads (must exist before its
+	// first Solve unless provided as initial guesses).
+	Inputs() []string
+	// Outputs lists the variables the model writes.
+	Outputs() []string
+	// Solve computes the outputs from the inputs.
+	Solve(in map[string]float64) (map[string]float64, error)
+}
+
+// FuncModel adapts a plain function to the Submodel interface.
+type FuncModel struct {
+	// ModelName identifies the model.
+	ModelName string
+	// In and Out declare the variable interface.
+	In, Out []string
+	// Fn computes outputs from inputs.
+	Fn func(in map[string]float64) (map[string]float64, error)
+}
+
+var _ Submodel = FuncModel{}
+
+// Name implements Submodel.
+func (f FuncModel) Name() string { return f.ModelName }
+
+// Inputs implements Submodel.
+func (f FuncModel) Inputs() []string { return f.In }
+
+// Outputs implements Submodel.
+func (f FuncModel) Outputs() []string { return f.Out }
+
+// Solve implements Submodel.
+func (f FuncModel) Solve(in map[string]float64) (map[string]float64, error) {
+	if f.Fn == nil {
+		return nil, fmt.Errorf("hier: model %q has no solve function", f.ModelName)
+	}
+	return f.Fn(in)
+}
+
+// Options controls the fixed-point iteration.
+type Options struct {
+	// Tol is the convergence tolerance on the max absolute variable change
+	// per sweep (default 1e-10).
+	Tol float64
+	// MaxIter bounds the sweeps (default 500).
+	MaxIter int
+	// Damping in (0,1] blends successive iterates: x ← (1-d)·x + d·x_new.
+	// 1 (default) is undamped.
+	Damping float64
+}
+
+// Result reports a composition solution.
+type Result struct {
+	// Vars holds the converged variable assignment.
+	Vars map[string]float64
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Residual is the final max variable change.
+	Residual float64
+}
+
+// ErrNoConvergence is returned when the fixed point is not reached.
+var ErrNoConvergence = errors.New("hier: fixed-point iteration did not converge")
+
+// Composition is an ordered list of submodels solved in sweeps.
+type Composition struct {
+	models []Submodel
+}
+
+// NewComposition returns a composition over the given submodels; they are
+// solved in the supplied order within each sweep (order affects iteration
+// count, not the fixed point).
+func NewComposition(models ...Submodel) (*Composition, error) {
+	if len(models) == 0 {
+		return nil, errors.New("hier: no submodels")
+	}
+	seen := make(map[string]bool, len(models))
+	for _, m := range models {
+		if m == nil {
+			return nil, errors.New("hier: nil submodel")
+		}
+		if seen[m.Name()] {
+			return nil, fmt.Errorf("hier: duplicate submodel name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+	return &Composition{models: append([]Submodel(nil), models...)}, nil
+}
+
+// Solve iterates the composition from the initial variable assignment until
+// every variable is stable. Acyclic compositions converge in one sweep (plus
+// one verification sweep); cyclic ones iterate.
+func (c *Composition) Solve(initial map[string]float64, opts Options) (*Result, error) {
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Damping <= 0 || opts.Damping > 1 {
+		opts.Damping = 1
+	}
+	vars := make(map[string]float64, len(initial))
+	for k, v := range initial {
+		vars[k] = v
+	}
+	var residual float64
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		residual = 0
+		for _, m := range c.models {
+			in := make(map[string]float64, len(m.Inputs()))
+			for _, name := range m.Inputs() {
+				v, ok := vars[name]
+				if !ok {
+					return nil, fmt.Errorf("hier: model %q input %q undefined (missing initial guess?)",
+						m.Name(), name)
+				}
+				in[name] = v
+			}
+			out, err := m.Solve(in)
+			if err != nil {
+				return nil, fmt.Errorf("hier: model %q: %w", m.Name(), err)
+			}
+			for _, name := range m.Outputs() {
+				nv, ok := out[name]
+				if !ok {
+					return nil, fmt.Errorf("hier: model %q did not produce declared output %q",
+						m.Name(), name)
+				}
+				if math.IsNaN(nv) || math.IsInf(nv, 0) {
+					return nil, fmt.Errorf("hier: model %q output %q = %g", m.Name(), name, nv)
+				}
+				old, existed := vars[name]
+				if existed {
+					nv = old + opts.Damping*(nv-old)
+					if d := math.Abs(nv - old); d > residual {
+						residual = d
+					}
+				} else {
+					// A newly defined variable forces one more sweep.
+					residual = math.Inf(1)
+				}
+				vars[name] = nv
+			}
+		}
+		if residual < opts.Tol {
+			return &Result{Vars: vars, Iterations: iter, Residual: residual}, nil
+		}
+	}
+	return &Result{Vars: vars, Iterations: opts.MaxIter, Residual: residual},
+		fmt.Errorf("%w after %d sweeps (residual %g)", ErrNoConvergence, opts.MaxIter, residual)
+}

@@ -1,0 +1,237 @@
+package hier
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func TestAcyclicComposition(t *testing.T) {
+	// Lower level: component availability from a Markov chain.
+	lower := FuncModel{
+		ModelName: "component",
+		Out:       []string{"A_comp"},
+		Fn: func(map[string]float64) (map[string]float64, error) {
+			c := markov.NewCTMC()
+			if err := c.AddRate("up", "down", 0.01); err != nil {
+				return nil, err
+			}
+			if err := c.AddRate("down", "up", 1.0); err != nil {
+				return nil, err
+			}
+			pi, err := c.SteadyStateMap()
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{"A_comp": pi["up"]}, nil
+		},
+	}
+	// Upper level: 2-of-3 over identical components.
+	upper := FuncModel{
+		ModelName: "system",
+		In:        []string{"A_comp"},
+		Out:       []string{"A_sys"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			a := in["A_comp"]
+			return map[string]float64{"A_sys": 3*a*a - 2*a*a*a}, nil
+		},
+	}
+	comp, err := NewComposition(lower, upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comp.Solve(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aComp := 1.0 / 1.01
+	want := 3*aComp*aComp - 2*aComp*aComp*aComp
+	if math.Abs(res.Vars["A_sys"]-want) > 1e-12 {
+		t.Errorf("A_sys = %g, want %g", res.Vars["A_sys"], want)
+	}
+	if res.Iterations > 2 {
+		t.Errorf("acyclic composition took %d sweeps, want <= 2", res.Iterations)
+	}
+}
+
+func TestCyclicFixedPoint(t *testing.T) {
+	// Classic fixed point: x = cos(x) via two mutually dependent models.
+	m1 := FuncModel{
+		ModelName: "cos",
+		In:        []string{"x"},
+		Out:       []string{"y"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"y": math.Cos(in["x"])}, nil
+		},
+	}
+	m2 := FuncModel{
+		ModelName: "copy",
+		In:        []string{"y"},
+		Out:       []string{"x"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"x": in["y"]}, nil
+		},
+	}
+	comp, err := NewComposition(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comp.Solve(map[string]float64{"x": 0.5}, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dottie number.
+	if math.Abs(res.Vars["x"]-0.7390851332151607) > 1e-9 {
+		t.Errorf("fixed point = %.12g, want 0.739085133215", res.Vars["x"])
+	}
+}
+
+func TestSharedRepairFixedPointMatchesExact(t *testing.T) {
+	// Two identical components share one repair facility. The exact model
+	// is the 3-state CTMC; the hierarchical approximation models each
+	// component independently with an effective repair rate slowed by the
+	// probability the repairer is busy with the other component, iterated
+	// to a fixed point. The fixed point must land within ~1% of exact for
+	// small utilization.
+	lam, mu := 0.01, 1.0
+
+	// Exact: shared-repair birth-death chain.
+	exactChain := markov.NewCTMC()
+	_ = exactChain.AddRate("2", "1", 2*lam)
+	_ = exactChain.AddRate("1", "0", lam)
+	_ = exactChain.AddRate("1", "2", mu)
+	_ = exactChain.AddRate("0", "1", mu)
+	exactPi, err := exactChain.SteadyStateMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactA := exactPi["2"] + exactPi["1"]
+
+	// Hierarchical: component availability with effective repair rate
+	// mu_eff = mu · P(repairer free when I need it) ≈ mu·(1 - U_other),
+	// where U_other is the other component's unavailability.
+	compModel := FuncModel{
+		ModelName: "component",
+		In:        []string{"U_other"},
+		Out:       []string{"U_comp"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			muEff := mu * (1 - in["U_other"])
+			u := lam / (lam + muEff)
+			return map[string]float64{"U_comp": u}, nil
+		},
+	}
+	mirror := FuncModel{
+		ModelName: "mirror",
+		In:        []string{"U_comp"},
+		Out:       []string{"U_other"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"U_other": in["U_comp"]}, nil
+		},
+	}
+	sys := FuncModel{
+		ModelName: "system",
+		In:        []string{"U_comp"},
+		Out:       []string{"A_sys"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			u := in["U_comp"]
+			return map[string]float64{"A_sys": 1 - u*u}, nil
+		},
+	}
+	comp, err := NewComposition(compModel, mirror, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comp.Solve(map[string]float64{"U_other": 0}, Options{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Vars["A_sys"]
+	// The fixed point corrects the naive independent-repair model toward
+	// the exact value (contention lowers availability) and lands within
+	// 0.1% of exact availability.
+	uInd := lam / (lam + mu)
+	aNaive := 1 - uInd*uInd
+	if got >= aNaive {
+		t.Errorf("fixed point %.10f should fall below the naive independent value %.10f", got, aNaive)
+	}
+	if math.Abs(got-exactA) > 1e-3 {
+		t.Errorf("fixed-point availability %.10f differs from exact %.10f by > 1e-3", got, exactA)
+	}
+	if res.Iterations < 2 {
+		t.Errorf("cyclic model converged suspiciously fast (%d sweeps)", res.Iterations)
+	}
+}
+
+func TestDampingHelpsOscillation(t *testing.T) {
+	// x ← 1 - x oscillates undamped; damping 0.5 converges to 0.5 at once.
+	m := FuncModel{
+		ModelName: "flip",
+		In:        []string{"x"},
+		Out:       []string{"x"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"x": 1 - in["x"]}, nil
+		},
+	}
+	comp, err := NewComposition(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comp.Solve(map[string]float64{"x": 0.2}, Options{MaxIter: 50}); !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("undamped oscillation: want ErrNoConvergence, got %v", err)
+	}
+	res, err := comp.Solve(map[string]float64{"x": 0.2}, Options{MaxIter: 200, Damping: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Vars["x"]-0.5) > 1e-9 {
+		t.Errorf("damped fixed point = %g, want 0.5", res.Vars["x"])
+	}
+}
+
+func TestCompositionErrors(t *testing.T) {
+	if _, err := NewComposition(); err == nil {
+		t.Error("empty composition accepted")
+	}
+	if _, err := NewComposition(nil); err == nil {
+		t.Error("nil submodel accepted")
+	}
+	a := FuncModel{ModelName: "same", Out: []string{"x"},
+		Fn: func(map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"x": 1}, nil
+		}}
+	if _, err := NewComposition(a, a); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	// Missing input.
+	needs := FuncModel{ModelName: "needs", In: []string{"missing"}, Out: []string{"y"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"y": in["missing"]}, nil
+		}}
+	comp, err := NewComposition(needs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comp.Solve(nil, Options{}); err == nil {
+		t.Error("undefined input accepted")
+	}
+	// Model not producing declared output.
+	liar := FuncModel{ModelName: "liar", Out: []string{"z"},
+		Fn: func(map[string]float64) (map[string]float64, error) {
+			return map[string]float64{}, nil
+		}}
+	comp2, _ := NewComposition(liar)
+	if _, err := comp2.Solve(nil, Options{}); err == nil {
+		t.Error("missing output accepted")
+	}
+	// NaN output.
+	nan := FuncModel{ModelName: "nan", Out: []string{"w"},
+		Fn: func(map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"w": math.NaN()}, nil
+		}}
+	comp3, _ := NewComposition(nan)
+	if _, err := comp3.Solve(nil, Options{}); err == nil {
+		t.Error("NaN output accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package hier
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ordered returns a new composition whose submodels are sorted
+// topologically by their declared input/output dependencies: producers
+// before consumers. For an acyclic composition this guarantees one-sweep
+// convergence regardless of the order the caller listed the models in; a
+// dependency cycle (genuine fixed-point coupling) is reported through the
+// cyclic return value and the involved models keep their relative order at
+// the end of the schedule.
+func (c *Composition) Ordered() (ordered *Composition, cyclic []string, err error) {
+	n := len(c.models)
+	producer := make(map[string]int) // variable -> producing model index
+	for i, m := range c.models {
+		for _, out := range m.Outputs() {
+			if prev, ok := producer[out]; ok {
+				return nil, nil, fmt.Errorf("hier: variable %q produced by both %q and %q",
+					out, c.models[prev].Name(), m.Name())
+			}
+			producer[out] = i
+		}
+	}
+	// Edges: producer -> consumer.
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	for i, m := range c.models {
+		seen := make(map[int]bool)
+		for _, in := range m.Inputs() {
+			p, ok := producer[in]
+			if !ok || p == i || seen[p] {
+				continue // external input or self-loop (handled as cycle below)
+			}
+			seen[p] = true
+			adj[p] = append(adj[p], i)
+			indeg[i]++
+		}
+	}
+	// Kahn's algorithm with stable ordering.
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+		sort.Ints(queue)
+	}
+	// Remaining models form cycles; append them in original order.
+	inOrder := make(map[int]bool, len(order))
+	for _, i := range order {
+		inOrder[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if !inOrder[i] {
+			order = append(order, i)
+			cyclic = append(cyclic, c.models[i].Name())
+		}
+	}
+	models := make([]Submodel, n)
+	for pos, i := range order {
+		models[pos] = c.models[i]
+	}
+	oc, err := NewComposition(models...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return oc, cyclic, nil
+}

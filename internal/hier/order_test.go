@@ -1,0 +1,106 @@
+package hier
+
+import (
+	"math"
+	"testing"
+)
+
+func constModel(name, out string, v float64) FuncModel {
+	return FuncModel{
+		ModelName: name,
+		Out:       []string{out},
+		Fn: func(map[string]float64) (map[string]float64, error) {
+			return map[string]float64{out: v}, nil
+		},
+	}
+}
+
+func chainModel(name, in, out string, f func(float64) float64) FuncModel {
+	return FuncModel{
+		ModelName: name,
+		In:        []string{in},
+		Out:       []string{out},
+		Fn: func(m map[string]float64) (map[string]float64, error) {
+			return map[string]float64{out: f(m[in])}, nil
+		},
+	}
+}
+
+func TestOrderedFixesBadOrder(t *testing.T) {
+	// Register consumers before producers: x → y → z computed from base.
+	double := func(v float64) float64 { return 2 * v }
+	comp, err := NewComposition(
+		chainModel("z", "y", "z", double),
+		chainModel("y", "x", "y", double),
+		constModel("x", "x", 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unordered needs several sweeps (3 models, reversed dependencies).
+	resBad, err := comp.Solve(map[string]float64{"x": 0, "y": 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, cyclic, err := comp.Ordered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cyclic) != 0 {
+		t.Fatalf("cyclic = %v, want none", cyclic)
+	}
+	resGood, err := ordered.Solve(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resGood.Vars["z"]-12) > 1e-12 {
+		t.Errorf("z = %g, want 12", resGood.Vars["z"])
+	}
+	if resGood.Iterations >= resBad.Iterations {
+		t.Errorf("ordered (%d sweeps) should beat unordered (%d)",
+			resGood.Iterations, resBad.Iterations)
+	}
+	// Ordered acyclic solves in <= 2 sweeps (compute + verify).
+	if resGood.Iterations > 2 {
+		t.Errorf("ordered sweeps = %d, want <= 2", resGood.Iterations)
+	}
+}
+
+func TestOrderedReportsCycles(t *testing.T) {
+	comp, err := NewComposition(
+		chainModel("a", "y", "x", func(v float64) float64 { return math.Cos(v) }),
+		chainModel("b", "x", "y", func(v float64) float64 { return v }),
+		constModel("free", "w", 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, cyclic, err := comp.Ordered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cyclic) != 2 {
+		t.Fatalf("cyclic = %v, want the two coupled models", cyclic)
+	}
+	// Still solvable by iteration.
+	res, err := ordered.Solve(map[string]float64{"x": 0.5, "y": 0.5}, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Vars["x"]-0.7390851332151607) > 1e-9 {
+		t.Errorf("fixed point = %g", res.Vars["x"])
+	}
+}
+
+func TestOrderedRejectsDuplicateProducers(t *testing.T) {
+	comp, err := NewComposition(
+		constModel("p1", "shared", 1),
+		constModel("p2", "shared", 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := comp.Ordered(); err == nil {
+		t.Error("duplicate producer accepted")
+	}
+}

@@ -1,0 +1,11 @@
+// Package linalg provides the numerical substrate for the analytic solvers
+// in this repository: dense and compressed-sparse-row matrices, direct and
+// iterative linear solvers, the Grassmann–Taksar–Heyman (GTH) algorithm for
+// Markov-chain steady state, numerical quadrature, and scalar root finding.
+//
+// The package is deliberately small and self-contained (stdlib only). It is
+// not a general-purpose linear-algebra library; it implements exactly the
+// primitives the reliability solvers need, with the numerical properties
+// those solvers require (e.g., GTH performs no subtractions, so it is
+// backward stable for stochastic matrices regardless of stiffness).
+package linalg

@@ -1,0 +1,93 @@
+package linalg
+
+import (
+	"fmt"
+)
+
+// GTH computes the stationary probability vector π of an irreducible CTMC
+// whose infinitesimal generator Q is given densely (π·Q = 0, Σπ = 1), using
+// the Grassmann–Taksar–Heyman state-reduction algorithm.
+//
+// GTH performs no subtractions, so it is numerically stable even for stiff
+// generators (rates spanning many orders of magnitude), which is the common
+// case in availability models (failure rates ~1e-5/h vs repair rates ~1/h).
+//
+// The input matrix is not modified. Diagonal entries of Q are ignored and
+// reconstructed from the off-diagonal rates, so callers may pass either a
+// full generator or just the rate matrix.
+func GTH(q *Dense) ([]float64, error) {
+	n := q.Rows()
+	if q.Cols() != n {
+		return nil, fmt.Errorf("gth: matrix %dx%d not square: %w", q.Rows(), q.Cols(), ErrDimensionMismatch)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("gth: empty generator")
+	}
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	// Copy off-diagonal rates; negative off-diagonals are invalid.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := q.At(i, j)
+			if v < 0 {
+				return nil, fmt.Errorf("gth: negative rate %g at (%d,%d)", v, i, j)
+			}
+			a.Set(i, j, v)
+		}
+	}
+	// State reduction from the last state down to state 1.
+	for k := n - 1; k >= 1; k-- {
+		// Total outflow of state k to states 0..k-1.
+		var s float64
+		for j := 0; j < k; j++ {
+			s += a.At(k, j)
+		}
+		if s == 0 {
+			return nil, fmt.Errorf("gth: state %d has no transitions to lower-indexed states; generator reducible", k)
+		}
+		for i := 0; i < k; i++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			f := aik / s
+			row, krow := a.Row(i), a.Row(k)
+			for j := 0; j < k; j++ {
+				if j == i {
+					continue
+				}
+				row[j] += f * krow[j]
+			}
+		}
+	}
+	// Back substitution: π̃(0)=1, π̃(k) = Σ_{i<k} π̃(i)·a(i,k)/s(k).
+	pi := make([]float64, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var s float64
+		for j := 0; j < k; j++ {
+			s += a.At(k, j)
+		}
+		var num float64
+		for i := 0; i < k; i++ {
+			num += pi[i] * a.At(i, k)
+		}
+		pi[k] = num / s
+	}
+	if err := Normalize1(pi); err != nil {
+		return nil, fmt.Errorf("gth: %w", err)
+	}
+	return pi, nil
+}
+
+// GTHCSR runs GTH on a sparse generator by densifying it. GTH fill-in makes
+// a truly sparse variant unprofitable below a few thousand states, which is
+// the regime where GTH is used; larger chains should use SOR.
+func GTHCSR(q *CSR) ([]float64, error) {
+	return GTH(q.ToDense())
+}

@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SOROptions controls the stationary-vector SOR/Gauss–Seidel iteration.
+type SOROptions struct {
+	// Omega is the relaxation factor; 1.0 gives plain Gauss–Seidel.
+	Omega float64
+	// Tol is the convergence tolerance on the L∞ change per sweep.
+	Tol float64
+	// MaxIter bounds the number of sweeps.
+	MaxIter int
+	// X0 optionally seeds the iteration; it is copied, not mutated.
+	X0 []float64
+}
+
+// DefaultSOROptions returns the options used when a zero value is supplied.
+func DefaultSOROptions() SOROptions {
+	return SOROptions{Omega: 1.0, Tol: 1e-12, MaxIter: 100000}
+}
+
+// ErrNoConvergence is returned when an iterative method exhausts MaxIter.
+type ErrNoConvergence struct {
+	Iter     int
+	Residual float64
+}
+
+func (e *ErrNoConvergence) Error() string {
+	return fmt.Sprintf("linalg: no convergence after %d iterations (residual %g)", e.Iter, e.Residual)
+}
+
+// SORSteadyState solves π·Q = 0, Σπ = 1 for an irreducible CTMC generator Q
+// in CSR form using successive over-relaxation on the normal form
+// π(j) = (Σ_{i≠j} π(i)·q(i,j)) / (-q(j,j)).
+//
+// The iteration runs on the transposed matrix so each unknown update reads a
+// contiguous CSR row. Returns the stationary vector and the number of sweeps
+// performed.
+func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
+	n := q.Rows()
+	if q.Cols() != n {
+		return nil, 0, fmt.Errorf("sor: matrix %dx%d not square: %w", q.Rows(), q.Cols(), ErrDimensionMismatch)
+	}
+	if n == 0 {
+		return nil, 0, fmt.Errorf("sor: empty generator")
+	}
+	def := DefaultSOROptions()
+	if opts.Omega == 0 {
+		opts.Omega = def.Omega
+	}
+	if opts.Tol == 0 {
+		opts.Tol = def.Tol
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = def.MaxIter
+	}
+	if opts.Omega <= 0 || opts.Omega >= 2 {
+		return nil, 0, fmt.Errorf("sor: omega %g outside (0,2)", opts.Omega)
+	}
+
+	qt := q.Transpose() // row j of qt holds incoming rates q(i,j) plus q(j,j)
+	diag := make([]float64, n)
+	for j := 0; j < n; j++ {
+		d := qt.At(j, j)
+		if d >= 0 {
+			// Absorbing or malformed diagonal: reconstruct from the row sums
+			// of the original matrix if possible.
+			var out float64
+			q.RowRange(j, func(col int, val float64) {
+				if col != j {
+					out += val
+				}
+			})
+			if out == 0 {
+				return nil, 0, fmt.Errorf("sor: state %d has no outgoing rate; generator reducible", j)
+			}
+			d = -out
+		}
+		diag[j] = d
+	}
+
+	pi := make([]float64, n)
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, 0, fmt.Errorf("sor: x0 len %d, want %d: %w", len(opts.X0), n, ErrDimensionMismatch)
+		}
+		copy(pi, opts.X0)
+	} else {
+		for i := range pi {
+			pi[i] = 1 / float64(n)
+		}
+	}
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		var maxDelta float64
+		for j := 0; j < n; j++ {
+			var inflow float64
+			qt.RowRange(j, func(col int, val float64) {
+				if col != j {
+					inflow += pi[col] * val
+				}
+			})
+			next := inflow / -diag[j]
+			next = pi[j] + opts.Omega*(next-pi[j])
+			if next < 0 {
+				next = 0
+			}
+			if d := math.Abs(next - pi[j]); d > maxDelta {
+				maxDelta = d
+			}
+			pi[j] = next
+		}
+		if err := Normalize1(pi); err != nil {
+			return nil, iter, fmt.Errorf("sor: %w", err)
+		}
+		if maxDelta < opts.Tol {
+			return pi, iter, nil
+		}
+	}
+	return pi, opts.MaxIter, &ErrNoConvergence{Iter: opts.MaxIter, Residual: residualSteadyState(q, pi)}
+}
+
+// residualSteadyState returns ‖π·Q‖∞ as a convergence diagnostic.
+func residualSteadyState(q *CSR, pi []float64) float64 {
+	r, err := q.VecMul(pi)
+	if err != nil {
+		return math.NaN()
+	}
+	return NormInf(r)
+}
+
+// PowerIteration computes the stationary distribution of an irreducible,
+// aperiodic DTMC with transition matrix P (rows sum to 1) by repeated
+// multiplication π ← π·P. Returns the vector and iteration count.
+func PowerIteration(p *CSR, tol float64, maxIter int) ([]float64, int, error) {
+	n := p.Rows()
+	if p.Cols() != n {
+		return nil, 0, fmt.Errorf("power: matrix %dx%d not square: %w", p.Rows(), p.Cols(), ErrDimensionMismatch)
+	}
+	if n == 0 {
+		return nil, 0, fmt.Errorf("power: empty matrix")
+	}
+	if tol == 0 {
+		tol = 1e-13
+	}
+	if maxIter == 0 {
+		maxIter = 200000
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		next, err := p.VecMul(pi)
+		if err != nil {
+			return nil, iter, err
+		}
+		if err := Normalize1(next); err != nil {
+			return nil, iter, fmt.Errorf("power: %w", err)
+		}
+		d, _ := MaxAbsDiff(next, pi)
+		copy(pi, next)
+		if d < tol {
+			return pi, iter, nil
+		}
+	}
+	return pi, maxIter, &ErrNoConvergence{Iter: maxIter}
+}

@@ -1,0 +1,80 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expm computes the matrix exponential e^A for a square dense matrix using
+// Taylor series with scaling and squaring. Intended for the small matrices
+// that arise as phase-type subgenerators (tens of states); state-space
+// transient analysis uses uniformization instead.
+func Expm(a *Dense) (*Dense, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("expm: matrix %dx%d not square: %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
+	}
+	// Scale so that the norm is below 0.5.
+	var norm float64
+	for i := 0; i < n; i++ {
+		s := Norm1(a.Row(i))
+		if s > norm {
+			norm = s
+		}
+	}
+	squarings := 0
+	if norm > 0.5 {
+		squarings = int(math.Ceil(math.Log2(norm / 0.5)))
+		if squarings > 60 {
+			return nil, fmt.Errorf("expm: norm %g too large", norm)
+		}
+	}
+	scaled := a.Clone()
+	factor := math.Ldexp(1, -squarings)
+	for i := range scaled.data {
+		scaled.data[i] *= factor
+	}
+	// Taylor series: sum_{k=0}^{K} M^k / k!.
+	result := identity(n)
+	term := identity(n)
+	for k := 1; k <= 24; k++ {
+		next, err := term.Mul(scaled)
+		if err != nil {
+			return nil, err
+		}
+		inv := 1 / float64(k)
+		for i := range next.data {
+			next.data[i] *= inv
+		}
+		term = next
+		for i := range result.data {
+			result.data[i] += term.data[i]
+		}
+		// Early exit when the term is negligible.
+		var tn float64
+		for _, v := range term.data {
+			if av := math.Abs(v); av > tn {
+				tn = av
+			}
+		}
+		if tn < 1e-18 {
+			break
+		}
+	}
+	for s := 0; s < squarings; s++ {
+		sq, err := result.Mul(result)
+		if err != nil {
+			return nil, err
+		}
+		result = sq
+	}
+	return result, nil
+}
+
+func identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

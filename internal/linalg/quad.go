@@ -1,0 +1,140 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Simpson integrates f over [a, b] with n (forced even) uniform panels
+// using composite Simpson's rule.
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	s := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			s += 4 * f(x)
+		} else {
+			s += 2 * f(x)
+		}
+	}
+	return s * h / 3
+}
+
+// AdaptiveSimpson integrates f over [a, b] to absolute tolerance tol using
+// recursive adaptive Simpson quadrature with a depth limit.
+func AdaptiveSimpson(f func(float64) float64, a, b, tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	c := (a + b) / 2
+	fa, fb, fc := f(a), f(b), f(c)
+	whole := (b - a) / 6 * (fa + 4*fc + fb)
+	return adaptiveAux(f, a, b, tol, whole, fa, fb, fc, 50)
+}
+
+func adaptiveAux(f func(float64) float64, a, b, tol, whole, fa, fb, fc float64, depth int) float64 {
+	c := (a + b) / 2
+	l, r := (a+c)/2, (c+b)/2
+	fl, fr := f(l), f(r)
+	left := (c - a) / 6 * (fa + 4*fl + fc)
+	right := (b - c) / 6 * (fc + 4*fr + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveAux(f, a, c, tol/2, left, fa, fc, fl, depth-1) +
+		adaptiveAux(f, c, b, tol/2, right, fc, fb, fr, depth-1)
+}
+
+// IntegrateToInf integrates f over [0, ∞) by mapping t = x/(1-x) onto (0,1)
+// and applying adaptive Simpson. f must decay to zero; reliability functions
+// R(t) of systems with finite MTTF qualify.
+func IntegrateToInf(f func(float64) float64, tol float64) float64 {
+	g := func(x float64) float64 {
+		if x >= 1 {
+			return 0
+		}
+		t := x / (1 - x)
+		jac := 1 / ((1 - x) * (1 - x))
+		v := f(t) * jac
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
+	}
+	return AdaptiveSimpson(g, 0, 1, tol)
+}
+
+// Brent finds a root of f in [a, b] using Brent's method. f(a) and f(b)
+// must have opposite signs.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, fmt.Errorf("brent: f(%g)=%g and f(%g)=%g do not bracket a root", a, fa, b, fb)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if fa*fs < 0 {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, nil
+}

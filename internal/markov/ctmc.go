@@ -1,0 +1,212 @@
+// Package markov implements continuous- and discrete-time Markov chains:
+// steady-state solution (GTH state reduction for small chains, SOR for
+// large sparse ones), transient solution by uniformization (Jensen's
+// method) with stable Poisson weighting, cumulative transient measures
+// (interval availability), absorbing-chain analysis (mean time to
+// absorption, absorption probabilities, accumulated reward), Markov reward
+// models, and parametric sensitivity of the stationary vector.
+//
+// Markov chains are the tutorial's primary state-space model type: they
+// capture the dependence (shared repair, imperfect coverage, standby
+// redundancy) that the non-state-space models cannot, at the cost of state
+// spaces that grow exponentially with the number of components.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// CTMC is a continuous-time Markov chain under construction or analysis.
+// States are created lazily by name; transitions carry positive rates.
+type CTMC struct {
+	names []string
+	index map[string]int
+	trans []transition
+}
+
+type transition struct {
+	from, to int
+	rate     float64
+}
+
+// Errors returned by chain construction and analysis.
+var (
+	ErrUnknownState = errors.New("markov: unknown state")
+	ErrBadRate      = errors.New("markov: rate must be positive and finite")
+	ErrEmptyChain   = errors.New("markov: chain has no states")
+	ErrBadInitial   = errors.New("markov: initial distribution invalid")
+)
+
+// NewCTMC returns an empty chain.
+func NewCTMC() *CTMC {
+	return &CTMC{index: make(map[string]int)}
+}
+
+// State ensures a state with the given name exists and returns its index.
+func (c *CTMC) State(name string) int {
+	if i, ok := c.index[name]; ok {
+		return i
+	}
+	i := len(c.names)
+	c.index[name] = i
+	c.names = append(c.names, name)
+	return i
+}
+
+// AddRate adds a transition with the given rate from one state to another,
+// creating the states as needed. Multiple calls accumulate.
+func (c *CTMC) AddRate(from, to string, rate float64) error {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("%w: %q -> %q rate %g", ErrBadRate, from, to, rate)
+	}
+	if from == to {
+		return fmt.Errorf("markov: self-transition %q has no effect in a CTMC", from)
+	}
+	c.trans = append(c.trans, transition{from: c.State(from), to: c.State(to), rate: rate})
+	return nil
+}
+
+// NumStates returns the number of states created so far.
+func (c *CTMC) NumStates() int { return len(c.names) }
+
+// StateNames returns a copy of the state names in index order.
+func (c *CTMC) StateNames() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Index returns the index of a named state.
+func (c *CTMC) Index(name string) (int, error) {
+	i, ok := c.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownState, name)
+	}
+	return i, nil
+}
+
+// Generator assembles the infinitesimal generator Q in CSR form, including
+// the negative diagonal.
+func (c *CTMC) Generator() (*linalg.CSR, error) {
+	n := len(c.names)
+	if n == 0 {
+		return nil, ErrEmptyChain
+	}
+	coo := linalg.NewCOO(n, n)
+	diag := make([]float64, n)
+	for _, t := range c.trans {
+		if err := coo.Add(t.from, t.to, t.rate); err != nil {
+			return nil, err
+		}
+		diag[t.from] += t.rate
+	}
+	for i, d := range diag {
+		if d > 0 {
+			if err := coo.Add(i, i, -d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+// gthThreshold is the state count above which SteadyState switches from
+// dense GTH to sparse SOR.
+const gthThreshold = 600
+
+// SteadyState computes the stationary distribution π of an irreducible
+// chain. Chains up to gthThreshold states use GTH (exact, subtraction-free);
+// larger chains use SOR.
+func (c *CTMC) SteadyState() ([]float64, error) {
+	q, err := c.Generator()
+	if err != nil {
+		return nil, err
+	}
+	if q.Rows() <= gthThreshold {
+		pi, err := linalg.GTHCSR(q)
+		if err != nil {
+			return nil, fmt.Errorf("markov steady state: %w", err)
+		}
+		return pi, nil
+	}
+	pi, _, err := linalg.SORSteadyState(q, linalg.SOROptions{})
+	if err != nil {
+		return nil, fmt.Errorf("markov steady state: %w", err)
+	}
+	return pi, nil
+}
+
+// SteadyStateMap returns the stationary distribution keyed by state name.
+func (c *CTMC) SteadyStateMap() (map[string]float64, error) {
+	pi, err := c.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(pi))
+	for i, name := range c.names {
+		out[name] = pi[i]
+	}
+	return out, nil
+}
+
+// ProbSum sums a probability vector over the named states.
+func (c *CTMC) ProbSum(pi []float64, states ...string) (float64, error) {
+	if len(pi) != len(c.names) {
+		return 0, fmt.Errorf("markov: vector len %d for %d states", len(pi), len(c.names))
+	}
+	var s float64
+	for _, name := range states {
+		i, err := c.Index(name)
+		if err != nil {
+			return 0, err
+		}
+		s += pi[i]
+	}
+	return s, nil
+}
+
+// checkInitial validates and copies an initial distribution.
+func (c *CTMC) checkInitial(p0 []float64) ([]float64, error) {
+	if len(p0) != len(c.names) {
+		return nil, fmt.Errorf("%w: len %d for %d states", ErrBadInitial, len(p0), len(c.names))
+	}
+	var sum float64
+	for i, p := range p0 {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("%w: p0[%d]=%g", ErrBadInitial, i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: sums to %g", ErrBadInitial, sum)
+	}
+	return linalg.Clone(p0), nil
+}
+
+// InitialAt returns the point-mass initial distribution on the named state.
+func (c *CTMC) InitialAt(name string) ([]float64, error) {
+	i, err := c.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	p0 := make([]float64, len(c.names))
+	p0[i] = 1
+	return p0, nil
+}
+
+// ExpectedReward returns Σ_i reward(state_i)·π_i for the supplied
+// probability vector.
+func (c *CTMC) ExpectedReward(pi []float64, reward func(state string) float64) (float64, error) {
+	if len(pi) != len(c.names) {
+		return 0, fmt.Errorf("markov: vector len %d for %d states", len(pi), len(c.names))
+	}
+	var s float64
+	for i, name := range c.names {
+		s += pi[i] * reward(name)
+	}
+	return s, nil
+}

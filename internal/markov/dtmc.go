@@ -1,0 +1,210 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// DTMC is a discrete-time Markov chain built by naming states and setting
+// transition probabilities.
+type DTMC struct {
+	names []string
+	index map[string]int
+	trans []transition // rate field carries the probability
+}
+
+// NewDTMC returns an empty discrete-time chain.
+func NewDTMC() *DTMC {
+	return &DTMC{index: make(map[string]int)}
+}
+
+// State ensures a state exists and returns its index.
+func (d *DTMC) State(name string) int {
+	if i, ok := d.index[name]; ok {
+		return i
+	}
+	i := len(d.names)
+	d.index[name] = i
+	d.names = append(d.names, name)
+	return i
+}
+
+// AddProb adds transition probability p from one state to another
+// (self-loops allowed). Multiple calls accumulate.
+func (d *DTMC) AddProb(from, to string, p float64) error {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		return fmt.Errorf("markov dtmc: probability %g for %q -> %q outside (0,1]", p, from, to)
+	}
+	d.trans = append(d.trans, transition{from: d.State(from), to: d.State(to), rate: p})
+	return nil
+}
+
+// NumStates returns the number of states.
+func (d *DTMC) NumStates() int { return len(d.names) }
+
+// StateNames returns the state names in index order.
+func (d *DTMC) StateNames() []string {
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// Index returns the index of a named state.
+func (d *DTMC) Index(name string) (int, error) {
+	i, ok := d.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownState, name)
+	}
+	return i, nil
+}
+
+// Matrix assembles the transition probability matrix and verifies that
+// every row sums to 1 (within tolerance).
+func (d *DTMC) Matrix() (*linalg.CSR, error) {
+	n := len(d.names)
+	if n == 0 {
+		return nil, ErrEmptyChain
+	}
+	coo := linalg.NewCOO(n, n)
+	rowSum := make([]float64, n)
+	for _, t := range d.trans {
+		if err := coo.Add(t.from, t.to, t.rate); err != nil {
+			return nil, err
+		}
+		rowSum[t.from] += t.rate
+	}
+	for i, s := range rowSum {
+		if math.Abs(s-1) > 1e-9 {
+			return nil, fmt.Errorf("markov dtmc: row %q sums to %g, want 1", d.names[i], s)
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+// SteadyState computes the stationary distribution of an irreducible,
+// aperiodic DTMC. Small chains use GTH on P−I (exact); large chains use
+// power iteration.
+func (d *DTMC) SteadyState() ([]float64, error) {
+	p, err := d.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	n := p.Rows()
+	if n <= gthThreshold {
+		// P − I is a valid generator-shaped matrix: nonnegative
+		// off-diagonals and zero row sums, so GTH applies verbatim.
+		g := linalg.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			p.RowRange(i, func(col int, val float64) {
+				g.Add(i, col, val)
+			})
+			g.Add(i, i, -1)
+		}
+		pi, err := linalg.GTH(g)
+		if err != nil {
+			return nil, fmt.Errorf("markov dtmc steady state: %w", err)
+		}
+		return pi, nil
+	}
+	pi, _, err := linalg.PowerIteration(p, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("markov dtmc steady state: %w", err)
+	}
+	return pi, nil
+}
+
+// StepN returns p0·P^n.
+func (d *DTMC) StepN(p0 []float64, n int) ([]float64, error) {
+	if len(p0) != len(d.names) {
+		return nil, fmt.Errorf("%w: len %d for %d states", ErrBadInitial, len(p0), len(d.names))
+	}
+	p, err := d.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	v := linalg.Clone(p0)
+	for i := 0; i < n; i++ {
+		v, err = p.VecMul(v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// AbsorptionProbs computes, for a DTMC whose named absorbing states have
+// P(i,i)=1, the probability of eventually being absorbed in each absorbing
+// state starting from the given state.
+func (d *DTMC) AbsorptionProbs(initial string, absorbing ...string) (map[string]float64, error) {
+	start, err := d.Index(initial)
+	if err != nil {
+		return nil, err
+	}
+	if len(absorbing) == 0 {
+		return nil, fmt.Errorf("markov dtmc: no absorbing states given")
+	}
+	isAbs := make(map[int]bool, len(absorbing))
+	for _, name := range absorbing {
+		i, err := d.Index(name)
+		if err != nil {
+			return nil, err
+		}
+		isAbs[i] = true
+	}
+	out := make(map[string]float64, len(absorbing))
+	if isAbs[start] {
+		for _, name := range absorbing {
+			out[name] = 0
+		}
+		out[d.names[start]] = 1
+		return out, nil
+	}
+	var transIdx []int
+	transPos := make(map[int]int)
+	for i := range d.names {
+		if !isAbs[i] {
+			transPos[i] = len(transIdx)
+			transIdx = append(transIdx, i)
+		}
+	}
+	nt := len(transIdx)
+	// (I - Q)·b_a = R_a where Q is transient-to-transient, R_a is the
+	// one-step probability into absorbing state a.
+	iq := linalg.NewDense(nt, nt)
+	for i := 0; i < nt; i++ {
+		iq.Set(i, i, 1)
+	}
+	rhs := make(map[int][]float64, len(absorbing))
+	for _, t := range d.trans {
+		if isAbs[t.from] {
+			continue
+		}
+		fp := transPos[t.from]
+		if isAbs[t.to] {
+			col, ok := rhs[t.to]
+			if !ok {
+				col = make([]float64, nt)
+				rhs[t.to] = col
+			}
+			col[fp] += t.rate
+		} else {
+			iq.Add(fp, transPos[t.to], -t.rate)
+		}
+	}
+	for _, name := range absorbing {
+		gi := d.index[name]
+		col, ok := rhs[gi]
+		if !ok {
+			out[name] = 0
+			continue
+		}
+		b, err := linalg.LUSolve(iq, col)
+		if err != nil {
+			return nil, fmt.Errorf("markov dtmc absorption: %w", err)
+		}
+		out[name] = b[transPos[start]]
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package markov
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProductSteadyStateFactorizes(t *testing.T) {
+	a := twoState(t, 0.1, 1.0)
+	b := twoState(t, 0.3, 2.0)
+	joint, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.NumStates() != 4 {
+		t.Fatalf("states = %d, want 4", joint.NumStates())
+	}
+	piA, err := a.SteadyStateMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	piB, err := b.SteadyStateMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	piJ, err := joint.SteadyStateMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sa, pa := range piA {
+		for sb, pb := range piB {
+			key := sa + "|" + sb
+			if math.Abs(piJ[key]-pa*pb) > 1e-13 {
+				t.Errorf("pi[%s] = %g, want %g", key, piJ[key], pa*pb)
+			}
+		}
+	}
+}
+
+func TestProductTransientFactorizes(t *testing.T) {
+	a := twoState(t, 0.2, 1.5)
+	b := twoState(t, 0.05, 0.8)
+	joint, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := joint.InitialAt("up|up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := 1.3
+	pj, err := joint.Transient(tt, p0, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marginal up-probabilities from the closed form.
+	aUp := closedFormA(0.2, 1.5, tt)
+	bUp := closedFormA(0.05, 0.8, tt)
+	idx, err := joint.Index("up|up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pj[idx]-aUp*bUp) > 1e-9 {
+		t.Errorf("P(up|up) = %g, want %g", pj[idx], aUp*bUp)
+	}
+}
+
+func closedFormA(lam, mu, t float64) float64 {
+	s := lam + mu
+	return mu/s + lam/s*math.Exp(-s*t)
+}
+
+func TestProductNThreeChains(t *testing.T) {
+	chains := make([]*CTMC, 3)
+	for i := range chains {
+		chains[i] = twoState(t, 0.1*float64(i+1), 1.0)
+	}
+	joint, err := ProductN(chains...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.NumStates() != 8 {
+		t.Fatalf("states = %d, want 8", joint.NumStates())
+	}
+	// All-up probability = product of marginals.
+	piJ, err := joint.SteadyStateMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0
+	for i := range chains {
+		pi, err := chains[i].SteadyStateMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want *= pi["up"]
+	}
+	var allUp float64
+	for name, p := range piJ {
+		if strings.Count(name, "up") == 3 {
+			allUp += p
+		}
+	}
+	if math.Abs(allUp-want) > 1e-13 {
+		t.Errorf("P(all up) = %g, want %g", allUp, want)
+	}
+}
+
+func TestProductValidation(t *testing.T) {
+	a := twoState(t, 1, 1)
+	if _, err := Product(a, nil); err == nil {
+		t.Error("nil chain accepted")
+	}
+	if _, err := Product(a, NewCTMC()); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := ProductN(); err == nil {
+		t.Error("no chains accepted")
+	}
+}

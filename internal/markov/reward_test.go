@@ -1,0 +1,136 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSteadyStateRewardRateTwoState(t *testing.T) {
+	lam, mu := 0.2, 1.8
+	c := twoState(t, lam, mu)
+	rate, err := c.SteadyStateRewardRate(func(s string) float64 {
+		if s == "up" {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mu / (lam + mu)
+	if relErr(rate, want) > 1e-12 {
+		t.Errorf("reward rate = %g, want %g", rate, want)
+	}
+}
+
+func TestExpectedRewardAtMatchesAvailability(t *testing.T) {
+	lam, mu := 0.5, 2.0
+	c := twoState(t, lam, mu)
+	p0, _ := c.InitialAt("up")
+	upReward := func(s string) float64 {
+		if s == "up" {
+			return 1
+		}
+		return 0
+	}
+	for _, tt := range []float64{0.3, 1, 4} {
+		got, err := c.ExpectedRewardAt(tt, p0, upReward, TransientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := lam + mu
+		want := mu/s + lam/s*math.Exp(-s*tt)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("E[r(%g)] = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestAccumulatedRewardDegradableMultiprocessor(t *testing.T) {
+	// Beaudry-style: two processors, no repair, reward = number up.
+	// E[∫₀^∞ r] = 2·E[time in 2] + 1·E[time in 1] = 2/(2λ) + 1/λ = 2/λ.
+	lam := 0.25
+	c := NewCTMC()
+	_ = c.AddRate("2", "1", 2*lam)
+	_ = c.AddRate("1", "0", lam)
+	p0, _ := c.InitialAt("2")
+	capacity := func(s string) float64 {
+		switch s {
+		case "2":
+			return 2
+		case "1":
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Over a horizon far beyond absorption, the accumulated reward
+	// approaches the total-work closed form 2/λ.
+	got, err := c.AccumulatedReward(200, p0, capacity, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got, 2/lam) > 1e-6 {
+		t.Errorf("total work = %g, want %g", got, 2/lam)
+	}
+	// Cross-check against the absorbing-analysis route.
+	viaAbsorbing, err := c.ExpectedAccumulatedReward(p0, capacity, "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got, viaAbsorbing) > 1e-6 {
+		t.Errorf("transient route %g vs absorbing route %g", got, viaAbsorbing)
+	}
+}
+
+func TestCapacityOrientedAvailability(t *testing.T) {
+	// Repairable duplex, reward = units up, full rate 2: COA lies strictly
+	// between the all-up probability and plain availability.
+	lam, mu := 0.1, 1.0
+	c := duplexSharedRepair(t, lam, mu)
+	p0, _ := c.InitialAt("2")
+	capacity := func(s string) float64 {
+		switch s {
+		case "2":
+			return 2
+		case "1":
+			return 1
+		default:
+			return 0
+		}
+	}
+	horizon := 500.0
+	coa, err := c.CapacityOrientedAvailability(horizon, p0, capacity, 2, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyStateMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	allUp := pi["2"]
+	avail := pi["2"] + pi["1"]
+	if !(coa > allUp && coa < avail) {
+		t.Errorf("COA %g should lie in (%g, %g)", coa, allUp, avail)
+	}
+	if _, err := c.CapacityOrientedAvailability(0, p0, capacity, 2, TransientOptions{}); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := c.CapacityOrientedAvailability(1, p0, capacity, 0, TransientOptions{}); err == nil {
+		t.Error("zero full rate accepted")
+	}
+}
+
+func TestRewardNilValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	p0, _ := c.InitialAt("up")
+	if _, err := c.SteadyStateRewardRate(nil); err == nil {
+		t.Error("nil reward accepted")
+	}
+	if _, err := c.ExpectedRewardAt(1, p0, nil, TransientOptions{}); err == nil {
+		t.Error("nil reward accepted")
+	}
+	if _, err := c.AccumulatedReward(1, p0, nil, TransientOptions{}); err == nil {
+		t.Error("nil reward accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package modelio
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func solveJSON(t *testing.T, doc string) []Result {
+	t.Helper()
+	spec, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func scalar(t *testing.T, res []Result, measure string) float64 {
+	t.Helper()
+	for _, r := range res {
+		if r.Measure == measure {
+			return r.Value
+		}
+	}
+	t.Fatalf("measure %q not found in %v", measure, res)
+	return 0
+}
+
+func TestRBDRoundtrip(t *testing.T) {
+	doc := `{
+	  "type": "rbd",
+	  "name": "duplex",
+	  "rbd": {
+	    "components": [
+	      {"name": "a", "lifetime": {"kind": "exponential", "rate": 0.001},
+	       "repair": {"kind": "exponential", "rate": 0.5}},
+	      {"name": "b", "lifetime": {"kind": "exponential", "rate": 0.001},
+	       "repair": {"kind": "exponential", "rate": 0.5}}
+	    ],
+	    "structure": {"op": "parallel", "children": [{"comp": "a"}, {"comp": "b"}]},
+	    "measures": ["availability", "mttf", "reliability", "mincuts"],
+	    "time": 100
+	  }
+	}`
+	res := solveJSON(t, doc)
+	aComp := 0.5 / 0.501
+	wantA := 1 - (1-aComp)*(1-aComp)
+	if got := scalar(t, res, "availability"); math.Abs(got-wantA) > 1e-12 {
+		t.Errorf("availability = %g, want %g", got, wantA)
+	}
+	if got := scalar(t, res, "mttf"); math.Abs(got-1500) > 1 {
+		t.Errorf("mttf = %g, want 1500", got)
+	}
+	r := math.Exp(-0.1)
+	wantR := 2*r - r*r
+	if got := scalar(t, res, "reliability"); math.Abs(got-wantR) > 1e-10 {
+		t.Errorf("reliability = %g, want %g", got, wantR)
+	}
+	for _, rr := range res {
+		if rr.Measure == "mincuts" {
+			if len(rr.Sets) != 1 || len(rr.Sets[0]) != 2 {
+				t.Errorf("mincuts = %v", rr.Sets)
+			}
+		}
+	}
+}
+
+func TestFaultTreeRoundtrip(t *testing.T) {
+	doc := `{
+	  "type": "faulttree",
+	  "faulttree": {
+	    "events": [
+	      {"name": "pump1", "prob": 0.1},
+	      {"name": "pump2", "prob": 0.1},
+	      {"name": "valve", "prob": 0.01}
+	    ],
+	    "top": {"op": "or", "children": [
+	      {"event": "valve"},
+	      {"op": "and", "children": [{"event": "pump1"}, {"event": "pump2"}]}
+	    ]},
+	    "measures": ["top", "mincuts", "rare-event", "importance"]
+	  }
+	}`
+	res := solveJSON(t, doc)
+	want := 1 - (1-0.01)*(1-0.01)
+	if got := scalar(t, res, "top"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("top = %g, want %g", got, want)
+	}
+	if got := scalar(t, res, "rare-event"); got < want-1e-12 {
+		t.Errorf("rare-event %g below exact %g", got, want)
+	}
+	for _, r := range res {
+		if r.Measure == "importance" {
+			if r.Detail["valve"] <= r.Detail["pump1"] {
+				t.Errorf("valve should dominate importance: %v", r.Detail)
+			}
+		}
+	}
+}
+
+func TestCTMCRoundtrip(t *testing.T) {
+	doc := `{
+	  "type": "ctmc",
+	  "ctmc": {
+	    "transitions": [
+	      {"from": "up", "to": "down", "rate": 0.01},
+	      {"from": "down", "to": "up", "rate": 1.0}
+	    ],
+	    "initial": "up",
+	    "upStates": ["up"],
+	    "absorbing": ["down"],
+	    "measures": ["steadystate", "availability", "transient", "mtta"],
+	    "time": 10
+	  }
+	}`
+	res := solveJSON(t, doc)
+	wantA := 1.0 / 1.01
+	if got := scalar(t, res, "availability"); math.Abs(got-wantA) > 1e-12 {
+		t.Errorf("availability = %g, want %g", got, wantA)
+	}
+	if got := scalar(t, res, "mtta"); math.Abs(got-100) > 1e-9 {
+		t.Errorf("mtta = %g, want 100", got)
+	}
+	for _, r := range res {
+		if r.Measure == "transient" {
+			s := 1.01
+			want := 1/s + 0.01/s*math.Exp(-s*10)/1 // A(t) closed form with λ+μ=1.01
+			if math.Abs(r.Detail["up"]-want) > 1e-9 {
+				t.Errorf("transient up = %g, want %g", r.Detail["up"], want)
+			}
+		}
+	}
+}
+
+func TestRelGraphRoundtrip(t *testing.T) {
+	doc := `{
+	  "type": "relgraph",
+	  "relgraph": {
+	    "edges": [
+	      {"name": "e1", "from": "s", "to": "m", "rel": 0.9},
+	      {"name": "e2", "from": "m", "to": "t", "rel": 0.8},
+	      {"name": "e3", "from": "s", "to": "t", "rel": 0.5}
+	    ],
+	    "source": "s", "target": "t",
+	    "measures": ["reliability", "minpaths", "mincuts"]
+	  }
+	}`
+	res := solveJSON(t, doc)
+	want := 1 - (1-0.72)*(1-0.5)
+	if got := scalar(t, res, "reliability"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("reliability = %g, want %g", got, want)
+	}
+}
+
+func TestDistSpecKinds(t *testing.T) {
+	tests := []struct {
+		name     string
+		spec     DistSpec
+		wantMean float64
+		wantErr  bool
+	}{
+		{name: "exponential", spec: DistSpec{Kind: "exponential", Rate: 2}, wantMean: 0.5},
+		{name: "weibull", spec: DistSpec{Kind: "weibull", Shape: 1, Scale: 3}, wantMean: 3},
+		{name: "lognormal", spec: DistSpec{Kind: "lognormal", Mu: 0, Sigma: 1}, wantMean: math.Exp(0.5)},
+		{name: "gamma", spec: DistSpec{Kind: "gamma", Shape: 2, Rate: 4}, wantMean: 0.5},
+		{name: "deterministic", spec: DistSpec{Kind: "deterministic", Value: 7}, wantMean: 7},
+		{name: "uniform", spec: DistSpec{Kind: "uniform", Lo: 1, Hi: 3}, wantMean: 2},
+		{name: "erlang", spec: DistSpec{Kind: "erlang", Stages: 3, Rate: 3}, wantMean: 1},
+		{name: "unknown", spec: DistSpec{Kind: "zipf"}, wantErr: true},
+		{name: "bad params", spec: DistSpec{Kind: "exponential", Rate: -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := tt.spec.Distribution()
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d.Mean()-tt.wantMean) > 1e-9 {
+				t.Errorf("mean = %g, want %g", d.Mean(), tt.wantMean)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`{"type": "rbd"}`,                   // missing section
+		`{"type": "alien"}`,                 // unknown type
+		`{"type": "ctmc", "bogusField": 1}`, // unknown field
+		`{`,                                 // syntax error
+		`{"type": "faulttree", "ctmc": {}}`, // mismatched section
+	}
+	for _, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("doc %q: want ErrBadSpec, got %v", doc, err)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	// Unknown component reference.
+	doc := `{"type":"rbd","rbd":{"components":[],"structure":{"comp":"ghost"},"measures":["mttf"]}}`
+	spec, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(spec); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("ghost component: %v", err)
+	}
+	// Reliability without time.
+	doc2 := `{"type":"rbd","rbd":{
+	  "components":[{"name":"a","lifetime":{"kind":"exponential","rate":1}}],
+	  "structure":{"comp":"a"},"measures":["reliability"]}}`
+	spec2, err := Parse(strings.NewReader(doc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(spec2); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("missing time: %v", err)
+	}
+	// Unknown measure.
+	doc3 := `{"type":"relgraph","relgraph":{
+	  "edges":[{"name":"e","from":"s","to":"t","rel":0.5}],
+	  "source":"s","target":"t","measures":["entropy"]}}`
+	spec3, err := Parse(strings.NewReader(doc3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(spec3); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("unknown measure: %v", err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render("demo", []Result{
+		{Measure: "availability", Value: 0.999},
+		{Measure: "mincuts", Sets: [][]string{{"a", "b"}}},
+		{Measure: "importance", Detail: map[string]float64{"a": 0.5}},
+	})
+	for _, want := range []string{"model: demo", "availability", "0.999", "{a, b}", "importance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultTreeTimeDependentMeasures(t *testing.T) {
+	doc := `{
+	  "type": "faulttree",
+	  "faulttree": {
+	    "events": [
+	      {"name": "a", "lifetime": {"kind": "exponential", "rate": 1}},
+	      {"name": "b", "lifetime": {"kind": "exponential", "rate": 1}}
+	    ],
+	    "top": {"op": "and", "children": [{"event": "a"}, {"event": "b"}]},
+	    "measures": ["topAt", "mttf"],
+	    "time": 1
+	  }
+	}`
+	res := solveJSON(t, doc)
+	wantTop := math.Pow(1-math.Exp(-1), 2)
+	if got := scalar(t, res, "topAt"); math.Abs(got-wantTop) > 1e-10 {
+		t.Errorf("topAt = %g, want %g", got, wantTop)
+	}
+	// Parallel of two identical exponentials: MTTF = 1.5.
+	if got := scalar(t, res, "mttf"); math.Abs(got-1.5) > 1e-5 {
+		t.Errorf("mttf = %g, want 1.5", got)
+	}
+}
+
+func TestFaultTreeTopAtNeedsTime(t *testing.T) {
+	doc := `{"type":"faulttree","faulttree":{
+	  "events":[{"name":"a","lifetime":{"kind":"exponential","rate":1}}],
+	  "top":{"event":"a"},"measures":["topAt"]}}`
+	spec, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(spec); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("missing time: %v", err)
+	}
+}

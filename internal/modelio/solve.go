@@ -1,0 +1,421 @@
+package modelio
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/faulttree"
+	"repro/internal/markov"
+	"repro/internal/rbd"
+	"repro/internal/relgraph"
+)
+
+// Result is one computed measure.
+type Result struct {
+	// Measure names the measure.
+	Measure string `json:"measure"`
+	// Value holds a scalar result (NaN-free; unused for set results).
+	Value float64 `json:"value,omitempty"`
+	// Sets holds set-valued results (cut sets, path sets).
+	Sets [][]string `json:"sets,omitempty"`
+	// Detail holds per-item results (importance measures).
+	Detail map[string]float64 `json:"detail,omitempty"`
+}
+
+// Solve evaluates every requested measure of the specification.
+func Solve(s *Spec) ([]Result, error) {
+	switch s.Type {
+	case "rbd":
+		return solveRBD(s.RBD)
+	case "faulttree":
+		return solveFaultTree(s.FaultTree)
+	case "ctmc":
+		return solveCTMC(s.CTMC)
+	case "relgraph":
+		return solveRelGraph(s.RelGraph)
+	case "spn":
+		return solveSPN(s.SPN)
+	default:
+		return nil, fmt.Errorf("%w: unknown type %q", ErrBadSpec, s.Type)
+	}
+}
+
+func solveRBD(spec *RBDSpec) ([]Result, error) {
+	if spec.Structure == nil {
+		return nil, fmt.Errorf("%w: rbd without structure", ErrBadSpec)
+	}
+	pool := make(map[string]*rbd.Component, len(spec.Components))
+	for _, cs := range spec.Components {
+		if cs.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed component", ErrBadSpec)
+		}
+		life, err := cs.Lifetime.Distribution()
+		if err != nil {
+			return nil, fmt.Errorf("component %q lifetime: %w", cs.Name, err)
+		}
+		comp := &rbd.Component{Name: cs.Name, Lifetime: life}
+		if cs.Repair != nil {
+			rep, err := cs.Repair.Distribution()
+			if err != nil {
+				return nil, fmt.Errorf("component %q repair: %w", cs.Name, err)
+			}
+			comp.Repair = rep
+		}
+		pool[cs.Name] = comp
+	}
+	block, err := buildBlock(spec.Structure, pool)
+	if err != nil {
+		return nil, err
+	}
+	m, err := rbd.New(block)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, meas := range spec.Measures {
+		switch meas {
+		case "availability":
+			v, err := m.SteadyStateAvailability()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case "mttf":
+			v, err := m.MTTF()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case "reliability":
+			if spec.Time <= 0 {
+				return nil, fmt.Errorf("%w: reliability needs a positive time", ErrBadSpec)
+			}
+			v, err := m.ReliabilityAt(spec.Time)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case "mincuts":
+			out = append(out, Result{Measure: meas, Sets: m.MinimalCutSets()})
+		case "importance":
+			if spec.Time <= 0 {
+				return nil, fmt.Errorf("%w: importance needs a positive time", ErrBadSpec)
+			}
+			imps, err := m.ImportanceAt(spec.Time)
+			if err != nil {
+				return nil, err
+			}
+			detail := make(map[string]float64, len(imps))
+			for _, im := range imps {
+				detail[im.Component] = im.Birnbaum
+			}
+			out = append(out, Result{Measure: meas, Detail: detail})
+		default:
+			return nil, fmt.Errorf("%w: unknown rbd measure %q", ErrBadSpec, meas)
+		}
+	}
+	return out, nil
+}
+
+func buildBlock(b *BlockSpec, pool map[string]*rbd.Component) (*rbd.Block, error) {
+	if b == nil {
+		return nil, fmt.Errorf("%w: nil block", ErrBadSpec)
+	}
+	if b.Comp != "" {
+		c, ok := pool[b.Comp]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown component %q", ErrBadSpec, b.Comp)
+		}
+		return rbd.Comp(c), nil
+	}
+	children := make([]*rbd.Block, len(b.Children))
+	for i, cs := range b.Children {
+		child, err := buildBlock(cs, pool)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = child
+	}
+	switch b.Op {
+	case "series":
+		return rbd.Series(children...), nil
+	case "parallel":
+		return rbd.Parallel(children...), nil
+	case "kofn":
+		return rbd.KOfN(b.K, children...), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown block op %q", ErrBadSpec, b.Op)
+	}
+}
+
+func solveFaultTree(spec *FaultTreeSpec) ([]Result, error) {
+	if spec.Top == nil {
+		return nil, fmt.Errorf("%w: faulttree without top gate", ErrBadSpec)
+	}
+	pool := make(map[string]*faulttree.Event, len(spec.Events))
+	for _, es := range spec.Events {
+		if es.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed event", ErrBadSpec)
+		}
+		e := &faulttree.Event{Name: es.Name, Prob: es.Prob}
+		if es.Lifetime != nil {
+			life, err := es.Lifetime.Distribution()
+			if err != nil {
+				return nil, fmt.Errorf("event %q lifetime: %w", es.Name, err)
+			}
+			e.Lifetime = life
+		}
+		pool[es.Name] = e
+	}
+	node, err := buildGate(spec.Top, pool)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := faulttree.New(node)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, meas := range spec.Measures {
+		switch meas {
+		case "top":
+			v, err := tree.TopStatic()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case "mincuts":
+			out = append(out, Result{Measure: meas, Sets: tree.MinimalCutSets()})
+		case "rare-event":
+			v, err := tree.RareEventBound()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case "importance":
+			imps, err := tree.Importance()
+			if err != nil {
+				return nil, err
+			}
+			detail := make(map[string]float64, len(imps))
+			for _, im := range imps {
+				detail[im.Event] = im.Birnbaum
+			}
+			out = append(out, Result{Measure: meas, Detail: detail})
+		case "topAt":
+			if spec.Time <= 0 {
+				return nil, fmt.Errorf("%w: topAt needs a positive time", ErrBadSpec)
+			}
+			v, err := tree.TopAt(spec.Time)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case "mttf":
+			v, err := tree.MTTF()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		default:
+			return nil, fmt.Errorf("%w: unknown faulttree measure %q", ErrBadSpec, meas)
+		}
+	}
+	return out, nil
+}
+
+func buildGate(g *GateSpec, pool map[string]*faulttree.Event) (*faulttree.Node, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil gate", ErrBadSpec)
+	}
+	if g.Event != "" {
+		e, ok := pool[g.Event]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown event %q", ErrBadSpec, g.Event)
+		}
+		return faulttree.Basic(e), nil
+	}
+	children := make([]*faulttree.Node, len(g.Children))
+	for i, cs := range g.Children {
+		child, err := buildGate(cs, pool)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = child
+	}
+	switch g.Op {
+	case "and":
+		return faulttree.And(children...), nil
+	case "or":
+		return faulttree.Or(children...), nil
+	case "atleast":
+		return faulttree.AtLeast(g.K, children...), nil
+	case "not":
+		if len(children) != 1 {
+			return nil, fmt.Errorf("%w: not takes one child", ErrBadSpec)
+		}
+		return faulttree.Not(children[0]), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown gate op %q", ErrBadSpec, g.Op)
+	}
+}
+
+func solveCTMC(spec *CTMCSpec) ([]Result, error) {
+	c := markov.NewCTMC()
+	for _, tr := range spec.Transitions {
+		if err := c.AddRate(tr.From, tr.To, tr.Rate); err != nil {
+			return nil, err
+		}
+	}
+	var out []Result
+	for _, meas := range spec.Measures {
+		switch meas {
+		case "steadystate":
+			pi, err := c.SteadyStateMap()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Detail: pi})
+		case "availability":
+			if len(spec.UpStates) == 0 {
+				return nil, fmt.Errorf("%w: availability needs upStates", ErrBadSpec)
+			}
+			pi, err := c.SteadyState()
+			if err != nil {
+				return nil, err
+			}
+			v, err := c.ProbSum(pi, spec.UpStates...)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case "transient":
+			if spec.Initial == "" || spec.Time <= 0 {
+				return nil, fmt.Errorf("%w: transient needs initial and positive time", ErrBadSpec)
+			}
+			p0, err := c.InitialAt(spec.Initial)
+			if err != nil {
+				return nil, err
+			}
+			p, err := c.Transient(spec.Time, p0, markov.TransientOptions{})
+			if err != nil {
+				return nil, err
+			}
+			detail := make(map[string]float64, len(p))
+			for i, name := range c.StateNames() {
+				detail[name] = p[i]
+			}
+			out = append(out, Result{Measure: meas, Detail: detail})
+		case "mtta":
+			if spec.Initial == "" || len(spec.Absorbing) == 0 {
+				return nil, fmt.Errorf("%w: mtta needs initial and absorbing states", ErrBadSpec)
+			}
+			v, err := c.MTTF(spec.Initial, spec.Absorbing...)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		default:
+			return nil, fmt.Errorf("%w: unknown ctmc measure %q", ErrBadSpec, meas)
+		}
+	}
+	return out, nil
+}
+
+func solveRelGraph(spec *RelGraphSpec) ([]Result, error) {
+	g := relgraph.New()
+	for _, es := range spec.Edges {
+		if err := g.AddEdge(relgraph.Edge{Name: es.Name, From: es.From, To: es.To, Rel: es.Rel}); err != nil {
+			return nil, err
+		}
+	}
+	var out []Result
+	for _, meas := range spec.Measures {
+		switch meas {
+		case "reliability":
+			v, err := g.Reliability(spec.Source, spec.Target)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case "minpaths":
+			paths, err := g.MinimalPaths(spec.Source, spec.Target)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Sets: paths})
+		case "mincuts":
+			cuts, err := g.MinimalCuts(spec.Source, spec.Target)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Sets: cuts})
+		default:
+			return nil, fmt.Errorf("%w: unknown relgraph measure %q", ErrBadSpec, meas)
+		}
+	}
+	return out, nil
+}
+
+// WriteDOT renders the model's structure as Graphviz DOT. Supported for
+// CTMC specifications (state diagram) and SPN specifications (Petri net);
+// other model families have no canonical graph rendering here.
+func WriteDOT(s *Spec, w io.Writer) error {
+	switch s.Type {
+	case "ctmc":
+		c := markov.NewCTMC()
+		for _, tr := range s.CTMC.Transitions {
+			if err := c.AddRate(tr.From, tr.To, tr.Rate); err != nil {
+				return err
+			}
+		}
+		up := make(map[string]bool, len(s.CTMC.UpStates))
+		for _, name := range s.CTMC.UpStates {
+			up[name] = true
+		}
+		highlight := func(state string) bool {
+			return len(up) > 0 && !up[state]
+		}
+		return c.WriteDOT(w, s.Name, highlight)
+	case "spn":
+		n, err := buildSPN(s.SPN)
+		if err != nil {
+			return err
+		}
+		return n.WriteDOT(w, s.Name)
+	default:
+		return fmt.Errorf("%w: no DOT rendering for model type %q", ErrBadSpec, s.Type)
+	}
+}
+
+// Render formats results as a human-readable report.
+func Render(name string, results []Result) string {
+	var sb strings.Builder
+	if name != "" {
+		fmt.Fprintf(&sb, "model: %s\n", name)
+	}
+	for _, r := range results {
+		switch {
+		case r.Sets != nil:
+			fmt.Fprintf(&sb, "%s (%d sets):\n", r.Measure, len(r.Sets))
+			for _, set := range r.Sets {
+				fmt.Fprintf(&sb, "  {%s}\n", strings.Join(set, ", "))
+			}
+		case r.Detail != nil:
+			fmt.Fprintf(&sb, "%s:\n", r.Measure)
+			keys := make([]string, 0, len(r.Detail))
+			for k := range r.Detail {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&sb, "  %-20s %.10g\n", k, r.Detail[k])
+			}
+		default:
+			fmt.Fprintf(&sb, "%-20s %.10g\n", r.Measure, r.Value)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,229 @@
+// Package modelio defines the JSON model-description format consumed by
+// cmd/relcli and converts specifications into solver objects. It lets a
+// user describe an RBD, fault tree, CTMC, or reliability graph in a file
+// and request measures without writing Go — the "software package"
+// interface the tutorial's lineage of tools (SHARPE, SPNP) provided.
+package modelio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/dist"
+)
+
+// Spec is the top-level model document.
+type Spec struct {
+	// Type selects the model family: "rbd", "faulttree", "ctmc", or
+	// "relgraph".
+	Type string `json:"type"`
+	// Name optionally labels the model in reports.
+	Name string `json:"name,omitempty"`
+	// Exactly one of the following must be present, matching Type.
+	RBD       *RBDSpec       `json:"rbd,omitempty"`
+	FaultTree *FaultTreeSpec `json:"faulttree,omitempty"`
+	CTMC      *CTMCSpec      `json:"ctmc,omitempty"`
+	RelGraph  *RelGraphSpec  `json:"relgraph,omitempty"`
+	SPN       *SPNSpec       `json:"spn,omitempty"`
+}
+
+// DistSpec describes a lifetime/repair distribution.
+type DistSpec struct {
+	// Kind is one of "exponential", "weibull", "lognormal", "gamma",
+	// "deterministic", "uniform", "erlang".
+	Kind string `json:"kind"`
+	// Rate is used by exponential (rate), gamma (rate), and erlang (per
+	// stage rate).
+	Rate float64 `json:"rate,omitempty"`
+	// Shape is used by weibull and gamma.
+	Shape float64 `json:"shape,omitempty"`
+	// Scale is used by weibull.
+	Scale float64 `json:"scale,omitempty"`
+	// Mu and Sigma are used by lognormal.
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	// Value is used by deterministic.
+	Value float64 `json:"value,omitempty"`
+	// Lo and Hi are used by uniform.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Stages is used by erlang.
+	Stages int `json:"stages,omitempty"`
+}
+
+// ErrBadSpec reports a malformed model document.
+var ErrBadSpec = errors.New("modelio: invalid specification")
+
+// Distribution converts the spec into a dist.Distribution.
+func (d *DistSpec) Distribution() (dist.Distribution, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: missing distribution", ErrBadSpec)
+	}
+	switch d.Kind {
+	case "exponential":
+		return dist.NewExponential(d.Rate)
+	case "weibull":
+		return dist.NewWeibull(d.Shape, d.Scale)
+	case "lognormal":
+		return dist.NewLognormal(d.Mu, d.Sigma)
+	case "gamma":
+		return dist.NewGamma(d.Shape, d.Rate)
+	case "deterministic":
+		return dist.NewDeterministic(d.Value)
+	case "uniform":
+		return dist.NewUniform(d.Lo, d.Hi)
+	case "erlang":
+		return dist.NewErlang(d.Stages, d.Rate)
+	default:
+		return nil, fmt.Errorf("%w: unknown distribution kind %q", ErrBadSpec, d.Kind)
+	}
+}
+
+// RBDSpec describes a reliability block diagram.
+type RBDSpec struct {
+	// Components declares the component pool.
+	Components []RBDComponent `json:"components"`
+	// Structure is the block tree.
+	Structure *BlockSpec `json:"structure"`
+	// Measures selects outputs: "availability", "mttf", "reliability"
+	// (requires Time), "mincuts", "importance" (requires Time).
+	Measures []string `json:"measures"`
+	// Time is the mission time for time-dependent measures.
+	Time float64 `json:"time,omitempty"`
+}
+
+// RBDComponent is one named component.
+type RBDComponent struct {
+	Name     string    `json:"name"`
+	Lifetime *DistSpec `json:"lifetime"`
+	Repair   *DistSpec `json:"repair,omitempty"`
+}
+
+// BlockSpec is a node of the RBD structure tree: either a component
+// reference or an operator over children.
+type BlockSpec struct {
+	// Comp references a component by name (leaf).
+	Comp string `json:"comp,omitempty"`
+	// Op is "series", "parallel", or "kofn".
+	Op string `json:"op,omitempty"`
+	// K is the threshold for kofn.
+	K int `json:"k,omitempty"`
+	// Children are the operand blocks.
+	Children []*BlockSpec `json:"children,omitempty"`
+}
+
+// FaultTreeSpec describes a fault tree.
+type FaultTreeSpec struct {
+	// Events declares the basic events.
+	Events []FTEvent `json:"events"`
+	// Top is the gate tree.
+	Top *GateSpec `json:"top"`
+	// Measures selects outputs: "top", "mincuts", "importance",
+	// "rare-event", "topAt" (requires Time and event lifetimes), "mttf"
+	// (requires event lifetimes).
+	Measures []string `json:"measures"`
+	// Time is the mission time for "topAt".
+	Time float64 `json:"time,omitempty"`
+}
+
+// FTEvent is one named basic event. Prob drives the static measures
+// ("top", "importance", …); Lifetime drives the time-dependent ones
+// ("topAt", "mttf").
+type FTEvent struct {
+	Name     string    `json:"name"`
+	Prob     float64   `json:"prob,omitempty"`
+	Lifetime *DistSpec `json:"lifetime,omitempty"`
+}
+
+// GateSpec is a node of the fault-tree gate tree.
+type GateSpec struct {
+	// Event references a basic event by name (leaf).
+	Event string `json:"event,omitempty"`
+	// Op is "and", "or", "atleast", or "not".
+	Op string `json:"op,omitempty"`
+	// K is the threshold for atleast.
+	K int `json:"k,omitempty"`
+	// Children are the operand gates.
+	Children []*GateSpec `json:"children,omitempty"`
+}
+
+// CTMCSpec describes a continuous-time Markov chain.
+type CTMCSpec struct {
+	// Transitions lists the rates.
+	Transitions []CTMCTransition `json:"transitions"`
+	// Initial names the initial state for transient/absorbing measures.
+	Initial string `json:"initial,omitempty"`
+	// UpStates names the states counted as "up" for availability measures.
+	UpStates []string `json:"upStates,omitempty"`
+	// Absorbing names the failure states for the "mtta" measure.
+	Absorbing []string `json:"absorbing,omitempty"`
+	// Measures selects outputs: "steadystate", "availability",
+	// "transient" (requires Time and Initial), "mtta" (requires Initial
+	// and Absorbing).
+	Measures []string `json:"measures"`
+	// Time is the horizon for "transient".
+	Time float64 `json:"time,omitempty"`
+}
+
+// CTMCTransition is one rate entry.
+type CTMCTransition struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Rate float64 `json:"rate"`
+}
+
+// RelGraphSpec describes an s–t reliability graph.
+type RelGraphSpec struct {
+	// Edges lists the failing links.
+	Edges []RGEdge `json:"edges"`
+	// Source and Target are the terminal nodes.
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Measures selects outputs: "reliability", "minpaths", "mincuts".
+	Measures []string `json:"measures"`
+}
+
+// RGEdge is one named edge.
+type RGEdge struct {
+	Name string  `json:"name"`
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Rel  float64 `json:"rel"`
+}
+
+// Parse reads and validates a model document.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	switch s.Type {
+	case "rbd":
+		if s.RBD == nil {
+			return nil, fmt.Errorf("%w: type rbd without rbd section", ErrBadSpec)
+		}
+	case "faulttree":
+		if s.FaultTree == nil {
+			return nil, fmt.Errorf("%w: type faulttree without faulttree section", ErrBadSpec)
+		}
+	case "ctmc":
+		if s.CTMC == nil {
+			return nil, fmt.Errorf("%w: type ctmc without ctmc section", ErrBadSpec)
+		}
+	case "relgraph":
+		if s.RelGraph == nil {
+			return nil, fmt.Errorf("%w: type relgraph without relgraph section", ErrBadSpec)
+		}
+	case "spn":
+		if s.SPN == nil {
+			return nil, fmt.Errorf("%w: type spn without spn section", ErrBadSpec)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown type %q", ErrBadSpec, s.Type)
+	}
+	return &s, nil
+}

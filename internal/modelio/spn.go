@@ -1,0 +1,176 @@
+package modelio
+
+import (
+	"fmt"
+
+	"repro/internal/spn"
+)
+
+// SPNSpec describes a generalized stochastic Petri net. Guards and
+// marking-dependent rates are code-level features; the JSON surface covers
+// the declarative core (places, timed/immediate transitions, input/output/
+// inhibitor arcs) plus token-count measures.
+type SPNSpec struct {
+	// Places declares places with initial tokens.
+	Places []SPNPlace `json:"places"`
+	// Transitions declares timed and immediate transitions.
+	Transitions []SPNTransition `json:"transitions"`
+	// Arcs declares the arc structure.
+	Arcs []SPNArc `json:"arcs"`
+	// Measures selects outputs: "states", "throughput:<transition>",
+	// "tokens:<place>", or a condition measure declared in Conditions.
+	Measures []string `json:"measures"`
+	// Conditions names steady-state probability measures over token
+	// counts; each is referenced from Measures by "prob:<name>".
+	Conditions []SPNCondition `json:"conditions,omitempty"`
+	// MaxStates bounds reachability exploration (0 = default).
+	MaxStates int `json:"maxStates,omitempty"`
+}
+
+// SPNPlace is one place declaration.
+type SPNPlace struct {
+	Name   string `json:"name"`
+	Tokens int    `json:"tokens"`
+}
+
+// SPNTransition is one transition declaration.
+type SPNTransition struct {
+	Name string `json:"name"`
+	// Kind is "timed" or "immediate".
+	Kind string `json:"kind"`
+	// Rate is the exponential rate (timed) or weight (immediate).
+	Rate float64 `json:"rate"`
+}
+
+// SPNArc is one arc declaration.
+type SPNArc struct {
+	// Kind is "input" (place→transition), "output" (transition→place), or
+	// "inhibitor".
+	Kind       string `json:"kind"`
+	Place      string `json:"place"`
+	Transition string `json:"transition"`
+	// Mult is the multiplicity (default 1).
+	Mult int `json:"mult,omitempty"`
+}
+
+// SPNCondition is a named predicate over a place's token count.
+type SPNCondition struct {
+	Name  string `json:"name"`
+	Place string `json:"place"`
+	// Op is one of ">=", "<=", "==".
+	Op     string `json:"op"`
+	Tokens int    `json:"tokens"`
+}
+
+// buildSPN assembles the net from the spec.
+func buildSPN(spec *SPNSpec) (*spn.Net, error) {
+	n := spn.New()
+	for _, p := range spec.Places {
+		if err := n.Place(p.Name, p.Tokens); err != nil {
+			return nil, err
+		}
+	}
+	for _, tr := range spec.Transitions {
+		switch tr.Kind {
+		case "timed":
+			if err := n.Timed(tr.Name, tr.Rate); err != nil {
+				return nil, err
+			}
+		case "immediate":
+			if err := n.Immediate(tr.Name, tr.Rate); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: transition %q kind %q", ErrBadSpec, tr.Name, tr.Kind)
+		}
+	}
+	for _, a := range spec.Arcs {
+		mult := a.Mult
+		if mult == 0 {
+			mult = 1
+		}
+		var err error
+		switch a.Kind {
+		case "input":
+			err = n.Input(a.Place, a.Transition, mult)
+		case "output":
+			err = n.Output(a.Transition, a.Place, mult)
+		case "inhibitor":
+			err = n.Inhibitor(a.Place, a.Transition, mult)
+		default:
+			err = fmt.Errorf("%w: arc kind %q", ErrBadSpec, a.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func solveSPN(spec *SPNSpec) ([]Result, error) {
+	n, err := buildSPN(spec)
+	if err != nil {
+		return nil, err
+	}
+	tc, err := n.Generate(spec.MaxStates)
+	if err != nil {
+		return nil, err
+	}
+	conds := make(map[string]SPNCondition, len(spec.Conditions))
+	for _, c := range spec.Conditions {
+		conds[c.Name] = c
+	}
+	var out []Result
+	for _, meas := range spec.Measures {
+		switch {
+		case meas == "states":
+			out = append(out, Result{Measure: meas, Value: float64(tc.NumTangible())})
+		case len(meas) > len("throughput:") && meas[:len("throughput:")] == "throughput:":
+			v, err := tc.Throughput(meas[len("throughput:"):])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case len(meas) > len("tokens:") && meas[:len("tokens:")] == "tokens:":
+			v, err := tc.ExpectedTokens(meas[len("tokens:"):])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		case len(meas) > len("prob:") && meas[:len("prob:")] == "prob:":
+			cond, ok := conds[meas[len("prob:"):]]
+			if !ok {
+				return nil, fmt.Errorf("%w: condition %q undeclared", ErrBadSpec, meas)
+			}
+			pi, err := n.PlaceIndex(cond.Place)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := tokenPredicate(cond.Op, cond.Tokens)
+			if err != nil {
+				return nil, err
+			}
+			v, err := tc.ProbWhere(func(m spn.Marking) bool { return pred(m[pi]) })
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: v})
+		default:
+			return nil, fmt.Errorf("%w: unknown spn measure %q", ErrBadSpec, meas)
+		}
+	}
+	return out, nil
+}
+
+func tokenPredicate(op string, k int) (func(int) bool, error) {
+	switch op {
+	case ">=":
+		return func(n int) bool { return n >= k }, nil
+	case "<=":
+		return func(n int) bool { return n <= k }, nil
+	case "==":
+		return func(n int) bool { return n == k }, nil
+	default:
+		return nil, fmt.Errorf("%w: condition op %q", ErrBadSpec, op)
+	}
+}

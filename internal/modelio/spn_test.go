@@ -1,0 +1,145 @@
+package modelio
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSPNRoundtripMM1K(t *testing.T) {
+	doc := `{
+	  "type": "spn",
+	  "spn": {
+	    "places": [
+	      {"name": "queue", "tokens": 0},
+	      {"name": "slots", "tokens": 3}
+	    ],
+	    "transitions": [
+	      {"name": "arrive", "kind": "timed", "rate": 2},
+	      {"name": "serve", "kind": "timed", "rate": 3}
+	    ],
+	    "arcs": [
+	      {"kind": "input", "place": "slots", "transition": "arrive"},
+	      {"kind": "output", "place": "queue", "transition": "arrive"},
+	      {"kind": "input", "place": "queue", "transition": "serve"},
+	      {"kind": "output", "place": "slots", "transition": "serve"}
+	    ],
+	    "conditions": [
+	      {"name": "full", "place": "queue", "op": "==", "tokens": 3}
+	    ],
+	    "measures": ["states", "throughput:serve", "tokens:queue", "prob:full"]
+	  }
+	}`
+	res := solveJSON(t, doc)
+	if got := scalar(t, res, "states"); got != 4 {
+		t.Errorf("states = %g, want 4", got)
+	}
+	// M/M/1/3 with rho=2/3: pi_j ∝ rho^j.
+	rho := 2.0 / 3
+	var norm, en float64
+	for j := 0; j <= 3; j++ {
+		p := math.Pow(rho, float64(j))
+		norm += p
+		en += float64(j) * p
+	}
+	en /= norm
+	if got := scalar(t, res, "tokens:queue"); math.Abs(got-en) > 1e-12 {
+		t.Errorf("E[N] = %g, want %g", got, en)
+	}
+	pFull := math.Pow(rho, 3) / norm
+	if got := scalar(t, res, "prob:full"); math.Abs(got-pFull) > 1e-12 {
+		t.Errorf("P(full) = %g, want %g", got, pFull)
+	}
+	// Throughput of serve = λ(1 - P(full)).
+	if got := scalar(t, res, "throughput:serve"); math.Abs(got-2*(1-pFull)) > 1e-12 {
+		t.Errorf("throughput = %g, want %g", got, 2*(1-pFull))
+	}
+}
+
+func TestSPNWithImmediateAndInhibitor(t *testing.T) {
+	// One token circulates: a → (choice via immediates) → back; inhibitor
+	// blocks "fill" while the buffer holds a token.
+	doc := `{
+	  "type": "spn",
+	  "spn": {
+	    "places": [{"name": "idle", "tokens": 1}, {"name": "busy", "tokens": 0}],
+	    "transitions": [
+	      {"name": "start", "kind": "timed", "rate": 1},
+	      {"name": "finish", "kind": "timed", "rate": 4}
+	    ],
+	    "arcs": [
+	      {"kind": "input", "place": "idle", "transition": "start"},
+	      {"kind": "output", "place": "busy", "transition": "start"},
+	      {"kind": "input", "place": "busy", "transition": "finish"},
+	      {"kind": "output", "place": "idle", "transition": "finish"},
+	      {"kind": "inhibitor", "place": "busy", "transition": "start"}
+	    ],
+	    "conditions": [{"name": "busy", "place": "busy", "op": ">=", "tokens": 1}],
+	    "measures": ["prob:busy"]
+	  }
+	}`
+	res := solveJSON(t, doc)
+	// Two-state chain: P(busy) = 1/(1+4) = 0.2.
+	if got := scalar(t, res, "prob:busy"); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("P(busy) = %g, want 0.2", got)
+	}
+}
+
+func TestSPNSpecErrors(t *testing.T) {
+	cases := []string{
+		// Unknown transition kind.
+		`{"type":"spn","spn":{"places":[{"name":"p","tokens":1}],
+		  "transitions":[{"name":"t","kind":"fuzzy","rate":1}],
+		  "arcs":[],"measures":["states"]}}`,
+		// Unknown arc kind.
+		`{"type":"spn","spn":{"places":[{"name":"p","tokens":1}],
+		  "transitions":[{"name":"t","kind":"timed","rate":1}],
+		  "arcs":[{"kind":"sideways","place":"p","transition":"t"}],
+		  "measures":["states"]}}`,
+		// Undeclared condition.
+		`{"type":"spn","spn":{"places":[{"name":"p","tokens":1}],
+		  "transitions":[{"name":"t","kind":"timed","rate":1}],
+		  "arcs":[{"kind":"input","place":"p","transition":"t"},
+		          {"kind":"output","place":"p","transition":"t"}],
+		  "measures":["prob:ghost"]}}`,
+		// Unknown measure.
+		`{"type":"spn","spn":{"places":[{"name":"p","tokens":1}],
+		  "transitions":[{"name":"t","kind":"timed","rate":1}],
+		  "arcs":[{"kind":"input","place":"p","transition":"t"},
+		          {"kind":"output","place":"p","transition":"t"}],
+		  "measures":["entropy"]}}`,
+	}
+	for i, doc := range cases {
+		spec, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("case %d parse: %v", i, err)
+		}
+		if _, err := Solve(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("case %d: want ErrBadSpec, got %v", i, err)
+		}
+	}
+	if _, err := Parse(strings.NewReader(`{"type":"spn"}`)); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("missing section: %v", err)
+	}
+}
+
+func TestWriteDOTSPN(t *testing.T) {
+	doc := `{"type":"spn","name":"net","spn":{
+	  "places":[{"name":"p","tokens":1}],
+	  "transitions":[{"name":"t","kind":"timed","rate":1}],
+	  "arcs":[{"kind":"input","place":"p","transition":"t"},
+	          {"kind":"output","place":"p","transition":"t"}],
+	  "measures":["states"]}}`
+	spec, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDOT(spec, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"p_p"`) {
+		t.Errorf("dot: %q", sb.String())
+	}
+}

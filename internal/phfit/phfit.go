@@ -1,0 +1,121 @@
+// Package phfit fits phase-type distributions to empirical moments so that
+// non-exponential lifetimes and repair times can be embedded into Markov
+// models (the tutorial's standard treatment of "dealing with non-exponential
+// distributions"). The fitters use classical two-moment recipes:
+//
+//   - SCV ≈ 1  → exponential,
+//   - SCV > 1  → balanced-means two-phase hyperexponential,
+//   - SCV < 1  → Tijms' mixture of Erlang(k-1) and Erlang(k) with common
+//     rate, for 1/k ≤ SCV ≤ 1/(k-1),
+//
+// each matching mean and variance exactly.
+package phfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/linalg"
+)
+
+// ErrBadMoments reports unusable target moments.
+var ErrBadMoments = errors.New("phfit: invalid target moments")
+
+// scvExponentialBand is the SCV half-width around 1 treated as exponential.
+const scvExponentialBand = 1e-9
+
+// FitTwoMoment returns a phase-type distribution matching the target mean
+// and squared coefficient of variation (SCV = variance/mean²).
+func FitTwoMoment(mean, scv float64) (*dist.PhaseType, error) {
+	if mean <= 0 || scv <= 0 || math.IsNaN(mean) || math.IsNaN(scv) {
+		return nil, fmt.Errorf("%w: mean=%g scv=%g", ErrBadMoments, mean, scv)
+	}
+	switch {
+	case math.Abs(scv-1) <= scvExponentialBand:
+		return dist.NewErlang(1, 1/mean)
+	case scv > 1:
+		return fitHyperexponential(mean, scv)
+	default:
+		return fitErlangMixture(mean, scv)
+	}
+}
+
+// FitDistribution fits a phase-type approximation to an arbitrary
+// distribution by matching its first two moments.
+func FitDistribution(d dist.Distribution) (*dist.PhaseType, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: nil distribution", ErrBadMoments)
+	}
+	m := d.Mean()
+	v := d.Var()
+	if v <= 0 {
+		// Degenerate (deterministic) input: best PH proxy is a high-order
+		// Erlang, whose SCV 1/k can be made arbitrarily small.
+		return FitNearDeterministic(m, 50)
+	}
+	return FitTwoMoment(m, v/(m*m))
+}
+
+// FitNearDeterministic returns the Erlang-k approximation of a
+// deterministic delay, with SCV = 1/k.
+func FitNearDeterministic(mean float64, k int) (*dist.PhaseType, error) {
+	if mean <= 0 || k < 1 {
+		return nil, fmt.Errorf("%w: mean=%g k=%d", ErrBadMoments, mean, k)
+	}
+	return dist.NewErlang(k, float64(k)/mean)
+}
+
+// fitHyperexponential implements the balanced-means H2 fit for SCV > 1:
+// with probability p the lifetime is Exp(λ1), else Exp(λ2), where
+// p = (1 + √((scv-1)/(scv+1)))/2, λ1 = 2p/mean, λ2 = 2(1-p)/mean.
+func fitHyperexponential(mean, scv float64) (*dist.PhaseType, error) {
+	r := math.Sqrt((scv - 1) / (scv + 1))
+	p := (1 + r) / 2
+	l1 := 2 * p / mean
+	l2 := 2 * (1 - p) / mean
+	return dist.NewHyperexponential([]float64{p, 1 - p}, []float64{l1, l2})
+}
+
+// fitErlangMixture implements Tijms' fit for SCV < 1: choose k with
+// 1/k ≤ scv ≤ 1/(k-1) and mix Erlang(k-1) and Erlang(k) with common rate:
+//
+//	p  = (k·scv - √(k(1+scv) - k²·scv)) / (1 + scv)
+//	μ  = (k - p)/mean
+//
+// realized as a k-phase sequential PH entered at stage 2 with probability p.
+func fitErlangMixture(mean, scv float64) (*dist.PhaseType, error) {
+	k := int(math.Ceil(1 / scv))
+	if k < 2 {
+		k = 2
+	}
+	kk := float64(k)
+	disc := kk*(1+scv) - kk*kk*scv
+	if disc < 0 {
+		disc = 0
+	}
+	p := (kk*scv - math.Sqrt(disc)) / (1 + scv)
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	mu := (kk - p) / mean
+	// Sequential stages 1..k, each rate mu. Enter at stage 2 with prob p
+	// (so only k-1 stages are traversed), at stage 1 with prob 1-p.
+	alpha := make([]float64, k)
+	alpha[0] = 1 - p
+	if k >= 2 {
+		alpha[1] = p
+	}
+	s := linalg.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		s.Set(i, i, -mu)
+		if i+1 < k {
+			s.Set(i, i+1, mu)
+		}
+	}
+	return dist.NewPhaseType(alpha, s)
+}

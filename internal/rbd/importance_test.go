@@ -1,0 +1,135 @@
+package rbd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestMissionImportanceSeriesClosedForm(t *testing.T) {
+	// Series of two: Birnbaum_1 = R_2(t); FV of each component is 1-ish
+	// relative to its cut (each is a singleton cut).
+	a := comp(t, "a", 2)
+	b := comp(t, "b", 0.5)
+	m, err := New(Series(Comp(a), Comp(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 0.4
+	imps, err := m.MissionImportance(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FullImportance{}
+	for _, im := range imps {
+		byName[im.Component] = im
+	}
+	wantBa := math.Exp(-0.5 * at) // R_b
+	if relErr(byName["a"].Birnbaum, wantBa) > 1e-12 {
+		t.Errorf("Birnbaum(a) = %g, want %g", byName["a"].Birnbaum, wantBa)
+	}
+	// The weaker component (a, rate 2) has higher FV in a series system.
+	if byName["a"].FussellVesely <= byName["b"].FussellVesely {
+		t.Errorf("FV(a)=%g should exceed FV(b)=%g",
+			byName["a"].FussellVesely, byName["b"].FussellVesely)
+	}
+}
+
+func TestAvailabilityImportanceRanksSPOF(t *testing.T) {
+	// Redundant pair in series with a single point of failure: the SPOF
+	// dominates every availability-importance measure.
+	spof := repairable(t, "spof", 0.001, 0.5)
+	r1 := repairable(t, "r1", 0.01, 0.5)
+	r2 := repairable(t, "r2", 0.01, 0.5)
+	m, err := New(Series(Comp(spof), Parallel(Comp(r1), Comp(r2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps, err := m.AvailabilityImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FullImportance{}
+	for _, im := range imps {
+		byName[im.Component] = im
+	}
+	if byName["spof"].Birnbaum <= byName["r1"].Birnbaum {
+		t.Errorf("SPOF Birnbaum %g should exceed redundant %g",
+			byName["spof"].Birnbaum, byName["r1"].Birnbaum)
+	}
+	if byName["spof"].FussellVesely <= byName["r1"].FussellVesely {
+		t.Errorf("SPOF FV %g should exceed redundant %g",
+			byName["spof"].FussellVesely, byName["r1"].FussellVesely)
+	}
+}
+
+func TestUnavailabilityContribution(t *testing.T) {
+	spof := repairable(t, "spof", 0.001, 0.5)
+	r1 := repairable(t, "r1", 0.01, 0.5)
+	r2 := repairable(t, "r2", 0.01, 0.5)
+	m, err := New(Series(Comp(spof), Parallel(Comp(r1), Comp(r2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contrib, err := m.UnavailabilityContribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contrib["spof"] <= contrib["r1"] {
+		t.Errorf("fixing the SPOF (%g) should buy more than fixing r1 (%g)",
+			contrib["spof"], contrib["r1"])
+	}
+	// Sanity: fixing the SPOF removes its whole unavailability share.
+	base := 1.0
+	{
+		a, err := m.SteadyStateAvailability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = 1 - a
+	}
+	if contrib["spof"] < 0 || contrib["spof"] > base {
+		t.Errorf("contribution %g outside [0, %g]", contrib["spof"], base)
+	}
+}
+
+func TestImportanceWithValidation(t *testing.T) {
+	c := comp(t, "c", 1)
+	m, err := New(Comp(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ImportanceWith(func(*Component) float64 { return 1.5 }); err == nil {
+		t.Error("unreliability > 1 accepted")
+	}
+	// UnavailabilityContribution without repair errors.
+	if _, err := m.UnavailabilityContribution(); err == nil {
+		t.Error("missing repair accepted")
+	}
+}
+
+func TestMissionImportanceWeibull(t *testing.T) {
+	w, err := dist.NewWeibull(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := &Component{Name: "wear", Lifetime: w}
+	ce := comp(t, "const", 0.05)
+	m, err := New(Series(Comp(cw), Comp(ce)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps, err := m.MissionImportance(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 2 {
+		t.Fatalf("imps = %v", imps)
+	}
+	for _, im := range imps {
+		if im.Birnbaum <= 0 || im.Birnbaum > 1 {
+			t.Errorf("Birnbaum(%s) = %g outside (0,1]", im.Component, im.Birnbaum)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package relgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAllTerminalTriangle(t *testing.T) {
+	// Triangle with identical p: R_all = 3p²(1-p) + p³.
+	p := 0.9
+	g := New()
+	mustAdd(t, g, "e1", "a", "b", p)
+	mustAdd(t, g, "e2", "b", "c", p)
+	mustAdd(t, g, "e3", "c", "a", p)
+	got, err := g.AllTerminalReliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*p*p*(1-p) + p*p*p
+	if relErr(got, want) > 1e-12 {
+		t.Errorf("R_all = %.12g, want %.12g", got, want)
+	}
+}
+
+func TestAllTerminalSpanningTree(t *testing.T) {
+	// A path graph IS its only spanning tree: R_all = ∏ p_i.
+	g := New()
+	mustAdd(t, g, "e1", "a", "b", 0.9)
+	mustAdd(t, g, "e2", "b", "c", 0.8)
+	mustAdd(t, g, "e3", "c", "d", 0.7)
+	got, err := g.AllTerminalReliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got, 0.9*0.8*0.7) > 1e-12 {
+		t.Errorf("R_all = %g, want %g", got, 0.9*0.8*0.7)
+	}
+}
+
+// bruteForceAllTerminal enumerates all edge subsets.
+func bruteForceAllTerminal(g *Graph) float64 {
+	edges := g.Edges()
+	nodes := map[string]int{}
+	for _, e := range edges {
+		if _, ok := nodes[e.From]; !ok {
+			nodes[e.From] = len(nodes)
+		}
+		if _, ok := nodes[e.To]; !ok {
+			nodes[e.To] = len(nodes)
+		}
+	}
+	n := len(nodes)
+	var total float64
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		p := 1.0
+		var live []workEdge
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				p *= e.Rel
+				live = append(live, workEdge{u: nodes[e.From], v: nodes[e.To]})
+			} else {
+				p *= 1 - e.Rel
+			}
+		}
+		if countComponents(n, live, false) == 1 {
+			total += p
+		}
+	}
+	return total
+}
+
+func TestAllTerminalMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		g := New()
+		nodes := []string{"a", "b", "c", "d", "e"}
+		cnt := 0
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if rng.Float64() < 0.55 {
+					cnt++
+					name := "e" + itoa(cnt)
+					mustAdd(t, g, name, nodes[i], nodes[j], rng.Float64())
+				}
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		got, err := g.AllTerminalReliability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceAllTerminal(g)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("trial %d: factoring %g vs brute force %g", trial, got, want)
+		}
+	}
+}
+
+func TestAllTerminalDisconnected(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "e1", "a", "b", 0.9)
+	mustAdd(t, g, "e2", "c", "d", 0.9)
+	got, err := g.AllTerminalReliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("disconnected graph R_all = %g, want 0", got)
+	}
+}
+
+func TestAllTerminalBelowTwoTerminal(t *testing.T) {
+	// Connecting everything is harder than connecting s to t.
+	g := bridge(t, 0.9, 0.9, 0.9, 0.9, 0.9)
+	all, err := g.AllTerminalReliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all > st {
+		t.Errorf("R_all %g should not exceed R_st %g", all, st)
+	}
+}
+
+func TestAllTerminalEdgeCap(t *testing.T) {
+	g := New()
+	for i := 0; i <= maxAllTerminalEdges; i++ {
+		mustAdd(t, g, "e"+itoa(i), "n"+itoa(i), "n"+itoa(i+1), 0.9)
+	}
+	if _, err := g.AllTerminalReliability(); err == nil {
+		t.Error("oversized graph accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package relgraph
+
+import (
+	"math"
+	"testing"
+)
+
+func mustAddDi(t *testing.T, g *DiGraph, name, from, to string, p float64) {
+	t.Helper()
+	if err := g.AddEdge(Edge{Name: name, From: from, To: to, Rel: p}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedSeriesParallel(t *testing.T) {
+	g := NewDirected()
+	mustAddDi(t, g, "e1", "s", "m", 0.9)
+	mustAddDi(t, g, "e2", "m", "t", 0.8)
+	mustAddDi(t, g, "e3", "s", "t", 0.5)
+	got, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (1-0.72)*(1-0.5)
+	if relErr(got, want) > 1e-12 {
+		t.Errorf("reliability = %g, want %g", got, want)
+	}
+}
+
+func TestDirectedEdgeDirectionMatters(t *testing.T) {
+	// Only a backwards edge: no s→t path.
+	g := NewDirected()
+	mustAddDi(t, g, "back", "t", "s", 0.99)
+	got, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("reliability = %g, want 0 (edge is backwards)", got)
+	}
+	// The undirected graph with the same edge would connect them.
+	u := New()
+	mustAdd(t, u, "back", "t", "s", 0.99)
+	ur, err := u.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur != 0.99 {
+		t.Errorf("undirected baseline = %g, want 0.99", ur)
+	}
+}
+
+func TestDirectedBridgeVsUndirected(t *testing.T) {
+	// Bridge with a one-way center edge a→b: the path through b→a is
+	// unavailable, so the directed reliability is below the undirected one
+	// (for asymmetric end probabilities that use that direction).
+	build := func() (*DiGraph, *Graph) {
+		d := NewDirected()
+		u := New()
+		type spec struct {
+			name, from, to string
+			p              float64
+		}
+		edges := []spec{
+			{"e1", "s", "a", 0.9}, {"e2", "s", "b", 0.7},
+			{"e3", "a", "b", 0.8},
+			{"e4", "a", "t", 0.7}, {"e5", "b", "t", 0.9},
+		}
+		for _, e := range edges {
+			mustAddDi(t, d, e.name, e.from, e.to, e.p)
+			mustAdd(t, u, e.name, e.from, e.to, e.p)
+		}
+		return d, u
+	}
+	d, u := build()
+	dr, err := d.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err := u.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dr < ur) {
+		t.Errorf("directed %g should be below undirected %g (lost b→a path)", dr, ur)
+	}
+	paths, err := d.MinimalPaths("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directed bridge has 3 paths: e1e4, e2e5, e1e3e5 (no e2e3e4).
+	if len(paths) != 3 {
+		t.Errorf("paths = %v, want 3", paths)
+	}
+	cuts, err := d.MinimalCuts("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) == 0 {
+		t.Error("no cuts found")
+	}
+	// Every path must intersect every cut.
+	for _, c := range cuts {
+		cutSet := map[string]bool{}
+		for _, name := range c {
+			cutSet[name] = true
+		}
+		for _, p := range paths {
+			hit := false
+			for _, name := range p {
+				if cutSet[name] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Errorf("cut %v misses path %v", c, p)
+			}
+		}
+	}
+}
+
+func TestDirectedRareEventConsistency(t *testing.T) {
+	// Unreliability via cuts (rare-event) must upper-bound exact.
+	g := NewDirected()
+	mustAddDi(t, g, "e1", "s", "a", 0.9)
+	mustAddDi(t, g, "e2", "a", "t", 0.9)
+	mustAddDi(t, g, "e3", "s", "b", 0.8)
+	mustAddDi(t, g, "e4", "b", "t", 0.8)
+	r, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := g.MinimalCuts("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relOf := map[string]float64{"e1": 0.9, "e2": 0.9, "e3": 0.8, "e4": 0.8}
+	var rare float64
+	for _, c := range cuts {
+		p := 1.0
+		for _, name := range c {
+			p *= 1 - relOf[name]
+		}
+		rare += p
+	}
+	if rare < (1-r)-1e-12 {
+		t.Errorf("rare-event %g below exact unreliability %g", rare, 1-r)
+	}
+	want := 1 - (1-0.81)*(1-0.64)
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("reliability = %g, want %g", r, want)
+	}
+}
+
+func TestDirectedValidation(t *testing.T) {
+	g := NewDirected()
+	if err := g.AddEdge(Edge{Name: "", From: "a", To: "b", Rel: 0.5}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := g.AddEdge(Edge{Name: "x", From: "a", To: "a", Rel: 0.5}); err == nil {
+		t.Error("self loop accepted")
+	}
+	mustAddDi(t, g, "e", "a", "b", 0.5)
+	if err := g.AddEdge(Edge{Name: "e", From: "b", To: "c", Rel: 0.5}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := g.Reliability("ghost", "b"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

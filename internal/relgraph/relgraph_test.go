@@ -1,0 +1,254 @@
+package relgraph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Abs(b); m > 1e-300 {
+		return d / m
+	}
+	return d
+}
+
+func mustAdd(t *testing.T, g *Graph, name, from, to string, p float64) {
+	t.Helper()
+	if err := g.AddEdge(Edge{Name: name, From: from, To: to, Rel: p}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bridge builds the classic 5-edge bridge network between s and t.
+func bridge(t *testing.T, p1, p2, p3, p4, p5 float64) *Graph {
+	t.Helper()
+	g := New()
+	mustAdd(t, g, "e1", "s", "a", p1)
+	mustAdd(t, g, "e2", "s", "b", p2)
+	mustAdd(t, g, "e3", "a", "b", p3)
+	mustAdd(t, g, "e4", "a", "t", p4)
+	mustAdd(t, g, "e5", "b", "t", p5)
+	return g
+}
+
+func TestSeriesChain(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "e1", "s", "m", 0.9)
+	mustAdd(t, g, "e2", "m", "t", 0.8)
+	got, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got, 0.72) > 1e-12 {
+		t.Errorf("series = %g, want 0.72", got)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "e1", "s", "t", 0.9)
+	mustAdd(t, g, "e2", "s", "t", 0.8)
+	got, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - 0.1*0.2; relErr(got, want) > 1e-12 {
+		t.Errorf("parallel = %g, want %g", got, want)
+	}
+}
+
+func TestBridgeKnownValue(t *testing.T) {
+	// Identical p: R = 2p² + 2p³ - 5p⁴ + 2p⁵.
+	p := 0.9
+	g := bridge(t, p, p, p, p, p)
+	got, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*math.Pow(p, 2) + 2*math.Pow(p, 3) - 5*math.Pow(p, 4) + 2*math.Pow(p, 5)
+	if relErr(got, want) > 1e-12 {
+		t.Errorf("bridge = %.12g, want %.12g", got, want)
+	}
+}
+
+func TestFactoringMatchesBDD(t *testing.T) {
+	g := bridge(t, 0.95, 0.7, 0.5, 0.85, 0.9)
+	fact, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.ReliabilityBDD("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(fact, exact) > 1e-12 {
+		t.Errorf("factoring %g != BDD %g", fact, exact)
+	}
+}
+
+func TestFactoringMatchesBDDRandomProperty(t *testing.T) {
+	// Random graphs on 5 nodes with random edge reliabilities.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		nodes := []string{"s", "a", "b", "c", "t"}
+		cnt := 0
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if rng.Float64() < 0.6 {
+					cnt++
+					name := "e" + string(rune('0'+cnt))
+					if err := g.AddEdge(Edge{Name: name, From: nodes[i], To: nodes[j], Rel: rng.Float64()}); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		if cnt == 0 || !g.nodes["s"] || !g.nodes["t"] {
+			return true // vacuous
+		}
+		fact, err := g.Reliability("s", "t")
+		if err != nil {
+			return false
+		}
+		exact, err := g.ReliabilityBDD("s", "t")
+		if err != nil {
+			return false
+		}
+		return math.Abs(fact-exact) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTerminalEdgePivotRegression(t *testing.T) {
+	// Regression: a dense K5-minus-one-edge graph containing a direct s–t
+	// edge used to mis-factor (contracting a terminal-to-terminal edge
+	// silently lost the "surely connected" branch). Factoring must match
+	// the BDD oracle.
+	g := New()
+	type spec struct {
+		name, from, to string
+		p              float64
+	}
+	for _, e := range []spec{
+		{"e1", "s", "b", 0.268}, {"e2", "s", "c", 0.331}, {"e3", "s", "t", 0.175},
+		{"e4", "a", "b", 0.745}, {"e5", "a", "c", 0.451}, {"e6", "a", "t", 0.800},
+		{"e7", "b", "c", 0.802}, {"e8", "b", "t", 0.781}, {"e9", "c", "t", 0.855},
+	} {
+		mustAdd(t, g, e.name, e.from, e.to, e.p)
+	}
+	fact, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.ReliabilityBDD("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fact-exact) > 1e-12 {
+		t.Fatalf("factoring %g != BDD %g", fact, exact)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "e1", "s", "a", 0.9)
+	mustAdd(t, g, "e2", "b", "t", 0.9)
+	got, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("disconnected = %g, want 0", got)
+	}
+}
+
+func TestMinimalPathsBridge(t *testing.T) {
+	g := bridge(t, 0.9, 0.9, 0.9, 0.9, 0.9)
+	paths, err := g.MinimalPaths("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bridge has 4 minimal paths: e1e4, e2e5, e1e3e5, e2e3e4.
+	if len(paths) != 4 {
+		t.Fatalf("paths = %v, want 4", paths)
+	}
+	if len(paths[0]) != 2 || len(paths[1]) != 2 || len(paths[2]) != 3 || len(paths[3]) != 3 {
+		t.Errorf("path sizes wrong: %v", paths)
+	}
+}
+
+func TestMinimalCutsBridge(t *testing.T) {
+	g := bridge(t, 0.9, 0.9, 0.9, 0.9, 0.9)
+	cuts, err := g.MinimalCuts("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bridge has 4 minimal cuts: {e1,e2}, {e4,e5}, {e1,e3,e5}, {e2,e3,e4}.
+	if len(cuts) != 4 {
+		t.Fatalf("cuts = %v, want 4", cuts)
+	}
+}
+
+func TestLadderNetwork(t *testing.T) {
+	// Ladder of k rungs: factoring should handle it and match BDD.
+	g := New()
+	k := 6
+	prev := "s"
+	for i := 0; i < k; i++ {
+		top := "u" + itoa(i)
+		mustAdd(t, g, "a"+itoa(i), prev, top, 0.9)
+		mustAdd(t, g, "b"+itoa(i), prev, top, 0.8)
+		prev = top
+	}
+	mustAdd(t, g, "final", prev, "t", 0.95)
+	fact, err := g.Reliability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.95 * math.Pow(1-0.1*0.2, float64(k))
+	if relErr(fact, want) > 1e-12 {
+		t.Errorf("ladder = %g, want %g", fact, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(Edge{Name: "", From: "a", To: "b", Rel: 0.5}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := g.AddEdge(Edge{Name: "x", From: "a", To: "a", Rel: 0.5}); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(Edge{Name: "x", From: "a", To: "b", Rel: 1.5}); err == nil {
+		t.Error("bad probability accepted")
+	}
+	mustAdd(t, g, "e", "a", "b", 0.5)
+	if err := g.AddEdge(Edge{Name: "e", From: "b", To: "c", Rel: 0.5}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := g.Reliability("missing", "b"); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("want ErrNoSuchNode, got %v", err)
+	}
+	if _, err := g.Reliability("a", "a"); err != nil {
+		t.Errorf("s==t should be reliability 1, got err %v", err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,58 @@
+package semimarkov
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestSteadyStateRewardMaintenanceCost(t *testing.T) {
+	// Operate (det 90h, earns 0) → inspect (lognormal 2h, costs 50/h) with
+	// 20% chance of entering repair (det 8h, costs 200/h).
+	op, err := dist.NewDeterministic(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insp, err := dist.NewLognormalFromMoments(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dist.NewDeterministic(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	mustAdd := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(s.AddTransition("operate", "inspect", 1, op))
+	mustAdd(s.AddTransition("inspect", "operate", 0.8, insp))
+	mustAdd(s.AddTransition("inspect", "repair", 0.2, insp))
+	mustAdd(s.AddTransition("repair", "operate", 1, rep))
+	cost := func(state string) float64 {
+		switch state {
+		case "inspect":
+			return 50
+		case "repair":
+			return 200
+		default:
+			return 0
+		}
+	}
+	got, err := s.SteadyStateReward(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Embedded chain visits per cycle: operate 1, inspect 1, repair 0.2.
+	// Time weights: 90, 2, 1.6 → total 93.6.
+	want := (2*50 + 1.6*200) / 93.6
+	if relErr(got, want) > 1e-12 {
+		t.Errorf("cost rate = %g, want %g", got, want)
+	}
+	if _, err := s.SteadyStateReward(nil); err == nil {
+		t.Error("nil reward accepted")
+	}
+}

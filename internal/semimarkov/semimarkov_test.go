@@ -1,0 +1,194 @@
+package semimarkov
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/markov"
+)
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Abs(b); m > 1e-300 {
+		return d / m
+	}
+	return d
+}
+
+func TestExponentialSojournsMatchCTMC(t *testing.T) {
+	// With exponential sojourns the SMP is a CTMC.
+	lam, mu := 0.3, 2.0
+	s := New()
+	if err := s.AddTransition("up", "down", 1, dist.MustExponential(lam)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition("down", "up", 1, dist.MustExponential(mu)); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := s.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := markov.NewCTMC()
+	_ = c.AddRate("up", "down", lam)
+	_ = c.AddRate("down", "up", mu)
+	want, err := c.SteadyStateMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(pi["up"], want["up"]) > 1e-12 {
+		t.Errorf("pi[up] = %g, want %g", pi["up"], want["up"])
+	}
+}
+
+func TestDeterministicAlternatingRenewal(t *testing.T) {
+	// Fixed 9h up, fixed 1h repair: availability = 0.9 exactly. A CTMC
+	// with matched means gives the same answer only because steady-state
+	// availability depends on means alone — but the SMP gets it exactly
+	// for any distribution shape.
+	up, err := dist.NewDeterministic(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dist.NewDeterministic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	_ = s.AddTransition("up", "down", 1, up)
+	_ = s.AddTransition("down", "up", 1, rep)
+	pi, err := s.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(pi["up"], 0.9) > 1e-12 {
+		t.Errorf("A = %g, want 0.9", pi["up"])
+	}
+}
+
+func TestWeibullLognormalMixture(t *testing.T) {
+	// Weibull wear-out lifetime, lognormal repair: A = MTTF/(MTTF+MTTR).
+	life, err := dist.NewWeibull(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dist.NewLognormalFromMoments(4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	_ = s.AddTransition("up", "down", 1, life)
+	_ = s.AddTransition("down", "up", 1, rep)
+	pi, err := s.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := life.Mean() / (life.Mean() + rep.Mean())
+	if relErr(pi["up"], want) > 1e-12 {
+		t.Errorf("A = %g, want %g", pi["up"], want)
+	}
+}
+
+func TestBranchingSMP(t *testing.T) {
+	// Web-server: robust → (0.9 stay path via degraded, 0.1 crash).
+	// From degraded: repair back. Three states with distinct sojourns.
+	s := New()
+	_ = s.AddTransition("robust", "degraded", 0.6, dist.MustExponential(0.1))
+	_ = s.AddTransition("robust", "failed", 0.4, dist.MustExponential(0.1))
+	_ = s.AddTransition("degraded", "robust", 1, dist.MustExponential(1.0))
+	_ = s.AddTransition("failed", "robust", 1, dist.MustExponential(0.5))
+	pi, err := s.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Embedded chain: ν(robust)=1/2, ν(degraded)=0.3, ν(failed)=0.2
+	// (unnormalized 1, 0.6, 0.4). Mean sojourns: 10, 1, 2.
+	// Weights: 10, 0.6, 0.8 → normalize.
+	total := 10 + 0.6 + 0.8
+	if relErr(pi["robust"], 10/total) > 1e-12 {
+		t.Errorf("pi[robust] = %g, want %g", pi["robust"], 10/total)
+	}
+	if relErr(pi["failed"], 0.8/total) > 1e-12 {
+		t.Errorf("pi[failed] = %g, want %g", pi["failed"], 0.8/total)
+	}
+}
+
+func TestMeanTimeToAbsorption(t *testing.T) {
+	// up →(1.0, mean 10)→ degraded →(0.5 back to up, 0.5 to failed), mean
+	// sojourn 2 in degraded. m_deg = 2 + 0.5·m_up; m_up = 10 + m_deg.
+	// Solving: m_up = 10 + 2 + 0.5·m_up → m_up = 24.
+	s := New()
+	_ = s.AddTransition("up", "degraded", 1, dist.MustExponential(0.1))
+	_ = s.AddTransition("degraded", "up", 0.5, mustDet(t, 2))
+	_ = s.AddTransition("degraded", "failed", 0.5, mustDet(t, 2))
+	got, err := s.MeanTimeToAbsorption("up", "failed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got, 24) > 1e-12 {
+		t.Errorf("MTTA = %g, want 24", got)
+	}
+	// From an absorbing start the MTTA is zero.
+	zero, err := s.MeanTimeToAbsorption("failed", "failed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Errorf("MTTA from absorbing = %g", zero)
+	}
+}
+
+func TestEmbeddedChainAbsorption(t *testing.T) {
+	s := New()
+	_ = s.AddTransition("start", "win", 0.3, mustDet(t, 1))
+	_ = s.AddTransition("start", "lose", 0.7, mustDet(t, 1))
+	d, err := s.EmbeddedChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make absorbing states proper DTMC absorbing states.
+	_ = d.AddProb("win", "win", 1)
+	_ = d.AddProb("lose", "lose", 1)
+	probs, err := d.AbsorptionProbs("start", "win", "lose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(probs["win"], 0.3) > 1e-12 {
+		t.Errorf("P(win) = %g, want 0.3", probs["win"])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := New()
+	if err := s.AddTransition("a", "b", 0, dist.MustExponential(1)); !errors.Is(err, ErrBadKernel) {
+		t.Errorf("zero prob: %v", err)
+	}
+	if err := s.AddTransition("a", "b", 0.5, nil); !errors.Is(err, ErrBadKernel) {
+		t.Errorf("nil sojourn: %v", err)
+	}
+	_ = s.AddTransition("a", "b", 0.5, dist.MustExponential(1))
+	if _, err := s.SteadyState(); !errors.Is(err, ErrBadKernel) {
+		t.Errorf("row sum 0.5: %v", err)
+	}
+	empty := New()
+	if _, err := empty.SteadyState(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	// Absorbing state present → steady state undefined.
+	abs := New()
+	_ = abs.AddTransition("a", "b", 1, dist.MustExponential(1))
+	if _, err := abs.SteadyState(); err == nil {
+		t.Error("absorbing state accepted in steady state")
+	}
+}
+
+func mustDet(t *testing.T, v float64) dist.Deterministic {
+	t.Helper()
+	d, err := dist.NewDeterministic(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

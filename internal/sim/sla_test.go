@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func slaSimulator(t *testing.T, lam, mu float64) *SystemSimulator {
+	t.Helper()
+	s, err := NewSystemSimulator([]ComponentProcess{{
+		Name:     "svc",
+		Lifetime: dist.MustExponential(lam),
+		Repair:   dist.MustExponential(mu),
+	}}, func(up []bool) bool { return up[0] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSampleIntervalAvailabilityMean(t *testing.T) {
+	lam, mu := 0.2, 2.0
+	s := slaSimulator(t, lam, mu)
+	rng := rand.New(rand.NewSource(61))
+	window := 100.0
+	sample, err := s.SampleIntervalAvailability(rng, window, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean window availability ≈ interval availability; for a long window
+	// it approaches steady state μ/(λ+μ) ≈ 0.909.
+	want := mu / (lam + mu)
+	if math.Abs(sample.Mean-want) > 0.01 {
+		t.Errorf("mean = %g, want ≈ %g", sample.Mean, want)
+	}
+	// Quantiles ordered.
+	q10, err := sample.Quantile(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q90, err := sample.Quantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q10 <= sample.Mean && sample.Mean <= q90) {
+		t.Errorf("quantiles disordered: %g / %g / %g", q10, sample.Mean, q90)
+	}
+}
+
+func TestBreachProbabilityMonotone(t *testing.T) {
+	s := slaSimulator(t, 0.2, 2.0)
+	rng := rand.New(rand.NewSource(67))
+	sample, err := s.SampleIntervalAvailability(rng, 50, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, sla := range []float64{0.5, 0.8, 0.9, 0.95, 0.99} {
+		b := sample.BreachProbability(sla)
+		if b < prev {
+			t.Errorf("breach probability not monotone at %g: %g < %g", sla, b, prev)
+		}
+		prev = b
+		if b < 0 || b > 1 {
+			t.Errorf("breach probability %g outside [0,1]", b)
+		}
+	}
+	// A 50h window at A≈0.909 breaches a 99% SLA most of the time and a
+	// 50% SLA almost never.
+	if sample.BreachProbability(0.99) < 0.5 {
+		t.Errorf("P(breach 99%%) = %g, want high", sample.BreachProbability(0.99))
+	}
+	if sample.BreachProbability(0.5) > 0.02 {
+		t.Errorf("P(breach 50%%) = %g, want ~0", sample.BreachProbability(0.5))
+	}
+}
+
+func TestWindowLengthNarrowsDistribution(t *testing.T) {
+	// Longer windows average out failures: the availability distribution
+	// concentrates (smaller interquantile range).
+	s := slaSimulator(t, 0.5, 5.0)
+	rng := rand.New(rand.NewSource(71))
+	spread := func(window float64) float64 {
+		t.Helper()
+		sample, err := s.SampleIntervalAvailability(rng, window, 2500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := sample.Quantile(0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := sample.Quantile(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hi - lo
+	}
+	short := spread(5)
+	long := spread(200)
+	if long >= short {
+		t.Errorf("long-window spread %g should be below short-window %g", long, short)
+	}
+}
+
+func TestSampleIntervalAvailabilityValidation(t *testing.T) {
+	s := slaSimulator(t, 1, 1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := s.SampleIntervalAvailability(rng, 10, 1); err == nil {
+		t.Error("reps=1 accepted")
+	}
+	if _, err := s.SampleIntervalAvailability(rng, 0, 10); err == nil {
+		t.Error("window=0 accepted")
+	}
+	sample, err := s.SampleIntervalAvailability(rng, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sample.Quantile(0); err == nil {
+		t.Error("q=0 accepted")
+	}
+}

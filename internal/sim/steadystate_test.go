@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func TestBatchMeansMatchesGTH(t *testing.T) {
+	lam, mu := 0.4, 2.0
+	c := markov.NewCTMC()
+	if err := c.AddRate("up", "down", lam); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate("down", "up", mu); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCTMCPathSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	ci, err := s.EstimateSteadyStateOccupancy(rng, "up", []string{"up"}, BatchMeansOptions{
+		Warmup:      50,
+		Batches:     30,
+		BatchLength: 200,
+		Level:       0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mu / (lam + mu)
+	if !ci.Contains(want) {
+		t.Errorf("analytic %g outside batch-means CI %v", want, ci)
+	}
+	if ci.HalfWidth > 0.02 {
+		t.Errorf("CI too wide: %v", ci)
+	}
+}
+
+func TestBatchMeansSharedRepairDuplex(t *testing.T) {
+	lam, mu := 0.3, 1.5
+	c := markov.NewCTMC()
+	for _, err := range []error{
+		c.AddRate("2", "1", 2*lam),
+		c.AddRate("1", "0", lam),
+		c.AddRate("1", "2", mu),
+		c.AddRate("0", "1", mu),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi, err := c.SteadyStateMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pi["2"] + pi["1"]
+	s, err := NewCTMCPathSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	ci, err := s.EstimateSteadyStateOccupancy(rng, "2", []string{"2", "1"}, BatchMeansOptions{
+		Warmup:      100,
+		Batches:     25,
+		BatchLength: 400,
+		Level:       0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(want) {
+		t.Errorf("analytic %g outside CI %v", want, ci)
+	}
+}
+
+func TestBatchMeansValidation(t *testing.T) {
+	c := markov.NewCTMC()
+	_ = c.AddRate("a", "b", 1)
+	_ = c.AddRate("b", "a", 1)
+	s, err := NewCTMCPathSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cases := []BatchMeansOptions{
+		{Batches: 1, BatchLength: 10},
+		{Batches: 5, BatchLength: 0},
+		{Batches: 5, BatchLength: 10, Warmup: -1},
+	}
+	for i, opts := range cases {
+		if _, err := s.EstimateSteadyStateOccupancy(rng, "a", []string{"a"}, opts); err == nil {
+			t.Errorf("case %d accepted: %+v", i, opts)
+		}
+	}
+	if _, err := s.EstimateSteadyStateOccupancy(rng, "ghost", []string{"a"},
+		BatchMeansOptions{Batches: 5, BatchLength: 10}); err == nil {
+		t.Error("unknown initial accepted")
+	}
+}

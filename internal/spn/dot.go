@@ -1,0 +1,63 @@
+package spn
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the net as a Graphviz digraph in the conventional Petri
+// net style: circles for places (labeled with initial tokens), bars for
+// timed transitions, filled bars for immediates, and dot-headed arcs for
+// inhibitors.
+func (n *Net) WriteDOT(w io.Writer, title string) error {
+	if len(n.placeNames) == 0 {
+		return fmt.Errorf("spn: net has no places")
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", title)
+	sb.WriteString("  rankdir=LR;\n")
+	for i, p := range n.placeNames {
+		label := p
+		if n.initial[i] > 0 {
+			label = fmt.Sprintf("%s\\n(%d)", p, n.initial[i])
+		}
+		fmt.Fprintf(&sb, "  %q [shape=circle, label=\"%s\"];\n", "p_"+p, label)
+	}
+	for _, t := range n.trans {
+		style := "shape=box, height=0.1, width=0.4"
+		if t.kind == immediate {
+			style += ", style=filled, fillcolor=black, fontcolor=white"
+		}
+		fmt.Fprintf(&sb, "  %q [%s, label=%q];\n", "t_"+t.name, style, t.name)
+		for _, a := range t.inputs {
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n",
+				"p_"+n.placeNames[a.place], "t_"+t.name, multLabel(a.mult))
+		}
+		for _, a := range t.outputs {
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n",
+				"t_"+t.name, "p_"+n.placeNames[a.place], multLabel(a.mult))
+		}
+		for _, a := range t.inhibitors {
+			fmt.Fprintf(&sb, "  %q -> %q [arrowhead=odot%s];\n",
+				"p_"+n.placeNames[a.place], "t_"+t.name, multSuffix(a.mult))
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func multLabel(m int) string {
+	if m <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(" [label=\"%d\"]", m)
+}
+
+func multSuffix(m int) string {
+	if m <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(", label=\"%d\"", m)
+}

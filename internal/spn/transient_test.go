@@ -1,0 +1,189 @@
+package spn
+
+import (
+	"math"
+	"testing"
+)
+
+// singleRepairableNet builds the 1-component up/down net.
+func singleRepairableNet(t *testing.T, lam, mu float64) (*Net, *TangibleChain) {
+	t.Helper()
+	n := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.Place("up", 1))
+	must(n.Place("down", 0))
+	must(n.Timed("fail", lam))
+	must(n.Input("up", "fail", 1))
+	must(n.Output("fail", "down", 1))
+	must(n.Timed("repair", mu))
+	must(n.Input("down", "repair", 1))
+	must(n.Output("repair", "up", 1))
+	tc, err := n.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, tc
+}
+
+func TestTransientProbWhereClosedForm(t *testing.T) {
+	lam, mu := 0.3, 1.2
+	n, tc := singleRepairableNet(t, lam, mu)
+	ui, err := n.PlaceIndex("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.2, 1, 5} {
+		got, err := tc.TransientProbWhere(tt, func(m Marking) bool { return m[ui] == 1 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := lam + mu
+		want := mu/s + lam/s*math.Exp(-s*tt)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("A(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestIntervalProbWhere(t *testing.T) {
+	lam, mu := 0.3, 1.2
+	n, tc := singleRepairableNet(t, lam, mu)
+	ui, _ := n.PlaceIndex("up")
+	horizon := 4.0
+	got, err := tc.IntervalProbWhere(horizon, func(m Marking) bool { return m[ui] == 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := lam + mu
+	want := (mu/s*horizon + lam/(s*s)*(1-math.Exp(-s*horizon))) / horizon
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("interval availability = %g, want %g", got, want)
+	}
+	if _, err := tc.IntervalProbWhere(0, func(Marking) bool { return true }); err == nil {
+		t.Error("t=0 accepted")
+	}
+}
+
+func TestExpectedTokensAt(t *testing.T) {
+	lam, mu := 0.3, 1.2
+	_, tc := singleRepairableNet(t, lam, mu)
+	// E[tokens in down at t] = 1 - A(t).
+	tt := 2.0
+	got, err := tc.ExpectedTokensAt(tt, "down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := lam + mu
+	want := 1 - (mu/s + lam/s*math.Exp(-s*tt))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("E[down tokens] = %g, want %g", got, want)
+	}
+	if _, err := tc.ExpectedTokensAt(1, "ghost"); err == nil {
+		t.Error("unknown place accepted")
+	}
+}
+
+func TestInitialDistributionWithVanishingStart(t *testing.T) {
+	// Initial marking is vanishing: an immediate transition fires at t=0
+	// splitting mass 0.3/0.7 between two tangible branches.
+	n := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.Place("start", 1))
+	must(n.Place("a", 0))
+	must(n.Place("b", 0))
+	must(n.Immediate("toA", 0.3))
+	must(n.Input("start", "toA", 1))
+	must(n.Output("toA", "a", 1))
+	must(n.Immediate("toB", 0.7))
+	must(n.Input("start", "toB", 1))
+	must(n.Output("toB", "b", 1))
+	// Keep the chain alive: a ↔ b via timed transitions.
+	must(n.Timed("ab", 1))
+	must(n.Input("a", "ab", 1))
+	must(n.Output("ab", "b", 1))
+	must(n.Timed("ba", 2))
+	must(n.Input("b", "ba", 1))
+	must(n.Output("ba", "a", 1))
+	tc, err := n.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := tc.InitialDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, _ := n.PlaceIndex("a")
+	var pa float64
+	for i, m := range tc.Markings {
+		if m[ai] == 1 {
+			pa += p0[i]
+		}
+	}
+	if math.Abs(pa-0.3) > 1e-12 {
+		t.Errorf("P(start in a) = %g, want 0.3", pa)
+	}
+}
+
+func TestMTTAWhereMatchesHandChain(t *testing.T) {
+	// Duplex shared-repair net: MTTF to "all down" = hand-built chain's.
+	lam, mu := 0.2, 1.5
+	n := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.Place("up", 2))
+	must(n.Place("down", 0))
+	ui := 0
+	must(n.TimedFunc("fail", func(m Marking) float64 { return lam * float64(m[ui]) }))
+	must(n.Input("up", "fail", 1))
+	must(n.Output("fail", "down", 1))
+	must(n.Timed("repair", mu))
+	must(n.Input("down", "repair", 1))
+	must(n.Output("repair", "up", 1))
+	tc, err := n.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tc.MTTAWhere(func(m Marking) bool { return m[ui] == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*lam + mu) / (2 * lam * lam)
+	if relErr(got, want) > 1e-12 {
+		t.Errorf("MTTA = %g, want %g", got, want)
+	}
+	// Reliability at t decreasing, matches closed form at t=0.
+	r0, err := tc.ReliabilityAt(1e-9, func(m Marking) bool { return m[ui] == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r0-1) > 1e-6 {
+		t.Errorf("R(0) = %g", r0)
+	}
+	r1, _ := tc.ReliabilityAt(5, func(m Marking) bool { return m[ui] == 0 })
+	r2, _ := tc.ReliabilityAt(50, func(m Marking) bool { return m[ui] == 0 })
+	if !(r1 > r2) {
+		t.Errorf("R not decreasing: %g vs %g", r1, r2)
+	}
+	// Condition never satisfied → reliability 1, MTTA error.
+	rInf, err := tc.ReliabilityAt(10, func(m Marking) bool { return false })
+	if err != nil || rInf != 1 {
+		t.Errorf("unsatisfiable condition: r=%g err=%v", rInf, err)
+	}
+	if _, err := tc.MTTAWhere(func(m Marking) bool { return false }); err == nil {
+		t.Error("unsatisfiable MTTA accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package uncertainty
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ParamImportance reports how strongly each uncertain parameter drives the
+// output, measured two ways over the same sample set.
+type ParamImportance struct {
+	// Name is the parameter name.
+	Name string
+	// Pearson is the linear correlation between the parameter draws and
+	// the model outputs.
+	Pearson float64
+	// Spearman is the rank correlation — robust to the monotone
+	// nonlinearity typical of availability models.
+	Spearman float64
+}
+
+// Importance samples the parameters (LHS), evaluates the model, and ranks
+// the parameters by |Spearman| descending. This is the sampling-based
+// counterpart of the analytic sensitivities in internal/markov: it tells
+// the analyst which measurement to refine first.
+func Importance(model Model, params []Param, samples int, rng *rand.Rand) ([]ParamImportance, error) {
+	if model == nil {
+		return nil, errors.New("uncertainty: nil model")
+	}
+	if len(params) == 0 {
+		return nil, errors.New("uncertainty: no parameters")
+	}
+	if rng == nil {
+		return nil, errors.New("uncertainty: nil rng")
+	}
+	if samples <= 2 {
+		samples = 1000
+	}
+	draws, err := drawMatrix(params, samples, true, rng)
+	if err != nil {
+		return nil, err
+	}
+	outputs := make([]float64, samples)
+	assign := make(map[string]float64, len(params))
+	for s := 0; s < samples; s++ {
+		for j, p := range params {
+			assign[p.Name] = draws[j][s]
+		}
+		out, err := model(assign)
+		if err != nil {
+			return nil, fmt.Errorf("uncertainty: model evaluation %d: %w", s, err)
+		}
+		outputs[s] = out
+	}
+	res := make([]ParamImportance, len(params))
+	outRanks := ranks(outputs)
+	for j, p := range params {
+		res[j] = ParamImportance{
+			Name:     p.Name,
+			Pearson:  pearson(draws[j], outputs),
+			Spearman: pearson(ranks(draws[j]), outRanks),
+		}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		return math.Abs(res[a].Spearman) > math.Abs(res[b].Spearman)
+	})
+	return res, nil
+}
+
+// pearson returns the sample Pearson correlation, or 0 when either side is
+// constant.
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ranks returns average-tie ranks of v.
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	out := make([]float64, len(v))
+	for pos := 0; pos < len(idx); {
+		end := pos
+		for end+1 < len(idx) && v[idx[end+1]] == v[idx[pos]] {
+			end++
+		}
+		avg := float64(pos+end)/2 + 1
+		for k := pos; k <= end; k++ {
+			out[idx[k]] = avg
+		}
+		pos = end + 1
+	}
+	return out
+}

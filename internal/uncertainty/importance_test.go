@@ -1,0 +1,151 @@
+package uncertainty
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/markov"
+)
+
+func TestImportanceIdentifiesDominantParameter(t *testing.T) {
+	// Output = big + 0.01·small: 'big' must rank first with |corr| ≈ 1.
+	big, err := dist.NewUniform(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := dist.NewUniform(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	imp, err := Importance(
+		func(p map[string]float64) (float64, error) {
+			return p["big"] + 0.01*p["small"], nil
+		},
+		[]Param{{Name: "big", Dist: big}, {Name: "small", Dist: small}},
+		2000, rng,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0].Name != "big" {
+		t.Fatalf("dominant parameter = %s, want big (%v)", imp[0].Name, imp)
+	}
+	if imp[0].Spearman < 0.95 {
+		t.Errorf("Spearman(big) = %g, want ≈ 1", imp[0].Spearman)
+	}
+	if math.Abs(imp[1].Spearman) > 0.2 {
+		t.Errorf("Spearman(small) = %g, want ≈ 0", imp[1].Spearman)
+	}
+}
+
+func TestImportanceSignAndMonotoneRobustness(t *testing.T) {
+	// Availability is monotone DECREASING in λ and the relation is
+	// nonlinear; Spearman should be ≈ -1 while Pearson is merely strongly
+	// negative.
+	lnd, err := dist.NewLognormalFromMoments(0.01, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	imp, err := Importance(
+		func(p map[string]float64) (float64, error) {
+			c := markov.NewCTMC()
+			if err := c.AddRate("up", "down", p["lambda"]); err != nil {
+				return 0, err
+			}
+			if err := c.AddRate("down", "up", 1); err != nil {
+				return 0, err
+			}
+			pi, err := c.SteadyStateMap()
+			if err != nil {
+				return 0, err
+			}
+			return pi["up"], nil
+		},
+		[]Param{{Name: "lambda", Dist: lnd}},
+		1500, rng,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0].Spearman > -0.999 {
+		t.Errorf("Spearman = %g, want ≈ -1 (strictly monotone)", imp[0].Spearman)
+	}
+	if imp[0].Pearson > -0.8 {
+		t.Errorf("Pearson = %g, want strongly negative", imp[0].Pearson)
+	}
+}
+
+func TestImportanceTwoRateModel(t *testing.T) {
+	// Duplex availability: with much wider uncertainty on μ than λ, μ must
+	// rank first.
+	lamD, err := dist.NewLognormalFromMoments(0.01, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muD, err := dist.NewLognormalFromMoments(1.0, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	imp, err := Importance(
+		func(p map[string]float64) (float64, error) {
+			c := markov.NewCTMC()
+			for _, e := range []error{
+				c.AddRate("2", "1", 2*p["lambda"]),
+				c.AddRate("1", "0", p["lambda"]),
+				c.AddRate("1", "2", p["mu"]),
+				c.AddRate("0", "1", p["mu"]),
+			} {
+				if e != nil {
+					return 0, e
+				}
+			}
+			pi, err := c.SteadyStateMap()
+			if err != nil {
+				return 0, err
+			}
+			return pi["2"] + pi["1"], nil
+		},
+		[]Param{{Name: "lambda", Dist: lamD}, {Name: "mu", Dist: muD}},
+		1500, rng,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0].Name != "mu" {
+		t.Errorf("dominant = %s, want mu (%+v)", imp[0].Name, imp)
+	}
+	// Availability increases with repair rate.
+	if imp[0].Spearman <= 0 {
+		t.Errorf("Spearman(mu) = %g, want positive", imp[0].Spearman)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := ranks([]float64{3, 1, 3, 2})
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestImportanceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := []Param{{Name: "x", Dist: dist.MustExponential(1)}}
+	id := func(m map[string]float64) (float64, error) { return m["x"], nil }
+	if _, err := Importance(nil, p, 10, rng); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Importance(id, nil, 10, rng); err == nil {
+		t.Error("no params accepted")
+	}
+	if _, err := Importance(id, p, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

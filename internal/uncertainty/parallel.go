@@ -1,0 +1,119 @@
+package uncertainty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// PropagateParallel is Propagate with the model evaluations fanned out
+// across a bounded worker pool. Sampling stays sequential (one RNG, fully
+// reproducible); only the embarrassingly parallel model solves are
+// concurrent, so a run with the same seed yields the same sample set as
+// Propagate. Workers stop at the first model error via context
+// cancellation and the error is returned.
+func PropagateParallel(ctx context.Context, model Model, params []Param, opts Options, rng *rand.Rand, workers int) (*Result, error) {
+	if model == nil {
+		return nil, errors.New("uncertainty: nil model")
+	}
+	if len(params) == 0 {
+		return nil, errors.New("uncertainty: no parameters")
+	}
+	for i, p := range params {
+		if p.Name == "" || p.Dist == nil {
+			return nil, fmt.Errorf("uncertainty: parameter %d incomplete", i)
+		}
+	}
+	if rng == nil {
+		return nil, errors.New("uncertainty: nil rng")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := opts.Samples
+	if n <= 0 {
+		n = 1000
+	}
+	draws, err := drawMatrix(params, n, opts.LatinHypercube, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct{ index int }
+	jobs := make(chan job)
+	outputs := make([]float64, n)
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			assign := make(map[string]float64, len(params))
+			for j := range jobs {
+				for k, p := range params {
+					assign[p.Name] = draws[k][j.index]
+				}
+				out, err := model(assign)
+				if err != nil {
+					setErr(fmt.Errorf("uncertainty: model evaluation %d: %w", j.index, err))
+					return
+				}
+				outputs[j.index] = out
+			}
+		}()
+	}
+feed:
+	for s := 0; s < n; s++ {
+		select {
+		case jobs <- job{index: s}:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("uncertainty: %w", err)
+	}
+
+	res := &Result{Samples: outputs, N: n}
+	var sum, sum2 float64
+	for _, v := range outputs {
+		sum += v
+		sum2 += v * v
+	}
+	res.Mean = sum / float64(n)
+	variance := sum2/float64(n) - res.Mean*res.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	res.StdDev = math.Sqrt(variance)
+	sort.Float64s(res.Samples)
+	return res, nil
+}

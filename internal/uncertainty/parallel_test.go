@@ -1,0 +1,111 @@
+package uncertainty
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/markov"
+)
+
+func TestPropagateParallelMatchesSequential(t *testing.T) {
+	// Same seed → identical sample sets (sampling is sequential in both).
+	ln, err := dist.NewLognormalFromMoments(0.02, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := func(p map[string]float64) (float64, error) {
+		c := markov.NewCTMC()
+		if err := c.AddRate("up", "down", p["lambda"]); err != nil {
+			return 0, err
+		}
+		if err := c.AddRate("down", "up", 1); err != nil {
+			return 0, err
+		}
+		pi, err := c.SteadyStateMap()
+		if err != nil {
+			return 0, err
+		}
+		return pi["up"], nil
+	}
+	params := []Param{{Name: "lambda", Dist: ln}}
+	opts := Options{Samples: 500, LatinHypercube: true}
+
+	seq, err := Propagate(model, params, opts, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := PropagateParallel(context.Background(), model, params, opts,
+		rand.New(rand.NewSource(99)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.N != par.N {
+		t.Fatalf("n mismatch: %d vs %d", seq.N, par.N)
+	}
+	for i := range seq.Samples {
+		if math.Abs(seq.Samples[i]-par.Samples[i]) > 1e-15 {
+			t.Fatalf("sample %d differs: %g vs %g", i, seq.Samples[i], par.Samples[i])
+		}
+	}
+	if math.Abs(seq.Mean-par.Mean) > 1e-14 {
+		t.Errorf("mean mismatch: %g vs %g", seq.Mean, par.Mean)
+	}
+}
+
+func TestPropagateParallelStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var count atomic.Int64
+	model := func(p map[string]float64) (float64, error) {
+		count.Add(1)
+		if p["x"] > 0 { // always true for exponential draws
+			return 0, boom
+		}
+		return 1, nil
+	}
+	params := []Param{{Name: "x", Dist: dist.MustExponential(1)}}
+	_, err := PropagateParallel(context.Background(), model, params,
+		Options{Samples: 10000}, rand.New(rand.NewSource(5)), 4)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Early cancellation: far fewer than all evaluations ran.
+	if n := count.Load(); n > 5000 {
+		t.Errorf("ran %d evaluations; cancellation ineffective", n)
+	}
+}
+
+func TestPropagateParallelContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before start
+	model := func(map[string]float64) (float64, error) { return 1, nil }
+	params := []Param{{Name: "x", Dist: dist.MustExponential(1)}}
+	if _, err := PropagateParallel(ctx, model, params, Options{Samples: 100},
+		rand.New(rand.NewSource(1)), 2); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestPropagateParallelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := []Param{{Name: "x", Dist: dist.MustExponential(1)}}
+	id := func(p map[string]float64) (float64, error) { return p["x"], nil }
+	if _, err := PropagateParallel(context.Background(), nil, params, Options{}, rng, 2); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := PropagateParallel(context.Background(), id, nil, Options{}, rng, 2); err == nil {
+		t.Error("no params accepted")
+	}
+	if _, err := PropagateParallel(context.Background(), id, params, Options{}, nil, 2); err == nil {
+		t.Error("nil rng accepted")
+	}
+	// workers <= 0 defaults rather than erroring.
+	if _, err := PropagateParallel(context.Background(), id, params,
+		Options{Samples: 10}, rng, 0); err != nil {
+		t.Errorf("workers=0 should default: %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package uncertainty propagates parametric (epistemic) uncertainty through
+// any scalar model output: input rates are random variables (reflecting
+// finite measurement data), and the package samples them — by plain Monte
+// Carlo or Latin hypercube sampling — re-solves the model per sample, and
+// summarizes the output distribution with moments and percentile intervals.
+//
+// This is the tutorial's "how to take into account parametric uncertainty
+// in model inputs": the model itself stays analytic; only the inputs are
+// sampled.
+package uncertainty
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Param is one uncertain model input.
+type Param struct {
+	// Name keys the parameter in the sample map handed to the model.
+	Name string
+	// Dist is the epistemic distribution of the parameter.
+	Dist dist.Distribution
+}
+
+// Model maps a full parameter assignment to a scalar output (e.g., system
+// availability or MTTF).
+type Model func(params map[string]float64) (float64, error)
+
+// Result summarizes the propagated output distribution.
+type Result struct {
+	// N is the number of successful model evaluations.
+	N int
+	// Mean and StdDev are the sample moments of the output.
+	Mean, StdDev float64
+	// Samples holds the sorted output samples.
+	Samples []float64
+}
+
+// Percentile returns the p-th percentile (0 < p < 100) of the output by
+// linear interpolation of the sorted samples.
+func (r *Result) Percentile(p float64) (float64, error) {
+	if len(r.Samples) == 0 {
+		return 0, errors.New("uncertainty: no samples")
+	}
+	if p <= 0 || p >= 100 {
+		return 0, fmt.Errorf("uncertainty: percentile %g outside (0,100)", p)
+	}
+	pos := p / 100 * float64(len(r.Samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return r.Samples[lo], nil
+	}
+	frac := pos - float64(lo)
+	return r.Samples[lo]*(1-frac) + r.Samples[hi]*frac, nil
+}
+
+// Interval returns the central interval covering the given probability mass
+// (e.g. 0.9 → [5th, 95th] percentiles).
+func (r *Result) Interval(level float64) (lo, hi float64, err error) {
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("uncertainty: level %g outside (0,1)", level)
+	}
+	tail := (1 - level) / 2 * 100
+	lo, err = r.Percentile(tail)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = r.Percentile(100 - tail)
+	return lo, hi, err
+}
+
+// Options configures a propagation run.
+type Options struct {
+	// Samples is the number of model evaluations (default 1000).
+	Samples int
+	// LatinHypercube selects LHS instead of independent sampling.
+	LatinHypercube bool
+}
+
+// Propagate samples the parameters, evaluates the model per sample, and
+// summarizes the output. Model evaluation errors abort the run (an
+// availability model that fails on valid samples is a modeling bug, not a
+// statistical event).
+func Propagate(model Model, params []Param, opts Options, rng *rand.Rand) (*Result, error) {
+	if model == nil {
+		return nil, errors.New("uncertainty: nil model")
+	}
+	if len(params) == 0 {
+		return nil, errors.New("uncertainty: no parameters")
+	}
+	for i, p := range params {
+		if p.Name == "" || p.Dist == nil {
+			return nil, fmt.Errorf("uncertainty: parameter %d incomplete", i)
+		}
+	}
+	if rng == nil {
+		return nil, errors.New("uncertainty: nil rng")
+	}
+	n := opts.Samples
+	if n <= 0 {
+		n = 1000
+	}
+	draws, err := drawMatrix(params, n, opts.LatinHypercube, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Samples: make([]float64, 0, n)}
+	var sum, sum2 float64
+	assign := make(map[string]float64, len(params))
+	for s := 0; s < n; s++ {
+		for j, p := range params {
+			assign[p.Name] = draws[j][s]
+		}
+		out, err := model(assign)
+		if err != nil {
+			return nil, fmt.Errorf("uncertainty: model evaluation %d: %w", s, err)
+		}
+		res.Samples = append(res.Samples, out)
+		sum += out
+		sum2 += out * out
+	}
+	res.N = len(res.Samples)
+	res.Mean = sum / float64(res.N)
+	variance := sum2/float64(res.N) - res.Mean*res.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	res.StdDev = math.Sqrt(variance)
+	sort.Float64s(res.Samples)
+	return res, nil
+}
+
+// drawMatrix returns draws[param][sample].
+func drawMatrix(params []Param, n int, lhs bool, rng *rand.Rand) ([][]float64, error) {
+	out := make([][]float64, len(params))
+	for j, p := range params {
+		col := make([]float64, n)
+		if lhs {
+			// Latin hypercube: one draw per equal-probability stratum,
+			// randomly permuted.
+			perm := rng.Perm(n)
+			for s := 0; s < n; s++ {
+				u := (float64(perm[s]) + rng.Float64()) / float64(n)
+				if u <= 0 {
+					u = 1e-12
+				}
+				if u >= 1 {
+					u = 1 - 1e-12
+				}
+				q, err := p.Dist.Quantile(u)
+				if err != nil {
+					return nil, fmt.Errorf("uncertainty: %s quantile: %w", p.Name, err)
+				}
+				col[s] = q
+			}
+		} else {
+			for s := 0; s < n; s++ {
+				col[s] = p.Dist.Rand(rng)
+			}
+		}
+		out[j] = col
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package uncertainty
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/markov"
+)
+
+func TestIdentityPropagation(t *testing.T) {
+	// Output = parameter: the result must reproduce the input distribution.
+	ln, err := dist.NewLognormalFromMoments(10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	res, err := Propagate(
+		func(p map[string]float64) (float64, error) { return p["x"], nil },
+		[]Param{{Name: "x", Dist: ln}},
+		Options{Samples: 20000},
+		rng,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mean-10) > 0.1 {
+		t.Errorf("mean = %g, want ~10", res.Mean)
+	}
+	cv := res.StdDev / res.Mean
+	if math.Abs(cv-0.3) > 0.02 {
+		t.Errorf("cv = %g, want ~0.3", cv)
+	}
+	med, err := res.Percentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMed, _ := ln.Quantile(0.5)
+	if math.Abs(med-wantMed) > 0.2 {
+		t.Errorf("median = %g, want ~%g", med, wantMed)
+	}
+}
+
+func TestLHSCoversStrataExactly(t *testing.T) {
+	// With LHS and a uniform parameter, each of n strata contains exactly
+	// one sample.
+	u, err := dist.NewUniform(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := 200
+	res, err := Propagate(
+		func(p map[string]float64) (float64, error) { return p["u"], nil },
+		[]Param{{Name: "u", Dist: u}},
+		Options{Samples: n, LatinHypercube: true},
+		rng,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for _, s := range res.Samples {
+		idx := int(s * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("stratum %d has %d samples, want exactly 1", i, c)
+		}
+	}
+}
+
+func TestAvailabilityCIPropagation(t *testing.T) {
+	// Two-state availability model with uncertain failure rate: the CI on
+	// availability must contain the nominal value and shrink as the
+	// parameter variance shrinks.
+	mu := 1.0
+	model := func(p map[string]float64) (float64, error) {
+		c := markov.NewCTMC()
+		if err := c.AddRate("up", "down", p["lambda"]); err != nil {
+			return 0, err
+		}
+		if err := c.AddRate("down", "up", mu); err != nil {
+			return 0, err
+		}
+		pi, err := c.SteadyStateMap()
+		if err != nil {
+			return 0, err
+		}
+		return pi["up"], nil
+	}
+	nominal := 0.01
+	widths := make([]float64, 0, 2)
+	for _, cv := range []float64{0.5, 0.1} {
+		lnd, err := dist.NewLognormalFromMoments(nominal, cv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		res, err := Propagate(model, []Param{{Name: "lambda", Dist: lnd}},
+			Options{Samples: 4000, LatinHypercube: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, err := res.Interval(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nominalA := mu / (nominal + mu)
+		if !(lo <= nominalA && nominalA <= hi) {
+			t.Errorf("cv=%g: nominal availability %g outside [%g, %g]", cv, nominalA, lo, hi)
+		}
+		widths = append(widths, hi-lo)
+	}
+	if widths[1] >= widths[0] {
+		t.Errorf("CI width should shrink with parameter cv: %g vs %g", widths[1], widths[0])
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	res := &Result{Samples: []float64{1, 2, 3, 4}, N: 4}
+	med, err := res.Percentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 2.5 {
+		t.Errorf("median = %g, want 2.5", med)
+	}
+	if _, err := res.Percentile(0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := res.Percentile(100); err == nil {
+		t.Error("p=100 accepted")
+	}
+	if _, err := (&Result{}).Percentile(50); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, _, err := res.Interval(1.5); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestPropagateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	okParam := []Param{{Name: "x", Dist: dist.MustExponential(1)}}
+	if _, err := Propagate(nil, okParam, Options{}, rng); err == nil {
+		t.Error("nil model accepted")
+	}
+	id := func(p map[string]float64) (float64, error) { return p["x"], nil }
+	if _, err := Propagate(id, nil, Options{}, rng); err == nil {
+		t.Error("no params accepted")
+	}
+	if _, err := Propagate(id, []Param{{Name: "", Dist: dist.MustExponential(1)}}, Options{}, rng); err == nil {
+		t.Error("unnamed param accepted")
+	}
+	if _, err := Propagate(id, okParam, Options{}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	boom := errors.New("boom")
+	failing := func(map[string]float64) (float64, error) { return 0, boom }
+	if _, err := Propagate(failing, okParam, Options{Samples: 3}, rng); !errors.Is(err, boom) {
+		t.Errorf("model error not propagated: %v", err)
+	}
+}
