@@ -1,0 +1,106 @@
+// Command numvet is a repo-specific static analyzer for numerical code.
+// It type-checks the requested packages from source (standard library
+// tooling only — go/parser and go/types with a module-aware importer) and
+// reports three classes of problems that plague reliability solvers:
+//
+//   - float-eq: == or != between floating-point values. Solver results
+//     come out of iterative algorithms and quadrature; exact comparison
+//     is almost always a latent bug. Use core.AlmostEqual.
+//   - panic: panic() in a library (non-main) package outside a Must*
+//     convenience constructor. Library code must return errors so a
+//     service embedding the solvers can reject bad models gracefully.
+//   - ignored-err: an expression statement discarding the error returned
+//     by one of this module's own APIs.
+//
+// A finding can be acknowledged with a same-line comment:
+//
+//	if a == b { //numvet:allow float-eq exact equality short-circuits
+//
+// Usage:
+//
+//	numvet ./internal/...
+//
+// Exits 1 when findings remain, making it suitable for scripts/check.sh.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "numvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the analysis and returns the process exit code.
+func run(patterns []string, out *os.File) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	modRoot, modPath, err := findModule(cwd)
+	if err != nil {
+		return 0, err
+	}
+	findings, err := vetDirs(modRoot, modPath, patterns)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "numvet: %d finding(s)\n", len(findings))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// vetDirs expands the patterns against the module root and analyzes every
+// matched package.
+func vetDirs(modRoot, modPath string, patterns []string) ([]Finding, error) {
+	dirs, err := expandPatterns(modRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(modRoot, modPath)
+	var findings []Finding
+	for _, dir := range dirs {
+		rel, err := importPathFor(modRoot, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		_, files, err := l.checkDir(rel, dir, info)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, vetPackage(l.fset, files, info, modPath)...)
+	}
+	return findings, nil
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func importPathFor(modRoot, modPath, dir string) (string, error) {
+	rel, err := relSlash(modRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + rel, nil
+}

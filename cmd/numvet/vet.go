@@ -1,0 +1,222 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The three numerical-hygiene rules this repo enforces on its library
+// packages. Each finding names its rule so a same-line
+// "//numvet:allow <rule> <reason>" comment can acknowledge it.
+const (
+	ruleFloatEq    = "float-eq"
+	rulePanic      = "panic"
+	ruleIgnoredErr = "ignored-err"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String formats the finding like a compiler diagnostic.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// vetPackage runs the analyses over one type-checked package.
+func vetPackage(fset *token.FileSet, files []*ast.File, info *types.Info, modPath string) []Finding {
+	var findings []Finding
+	for _, f := range files {
+		allowed := allowMap(fset, f)
+		v := &visitor{
+			fset: fset, info: info, modPath: modPath,
+			pkgName: f.Name.Name, allowed: allowed,
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			v.funcName = fn.Name.Name
+			ast.Inspect(fn.Body, v.inspect)
+		}
+		findings = append(findings, v.findings...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings
+}
+
+// allowMap collects "//numvet:allow <rule> [reason]" comments by line.
+func allowMap(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//numvet:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if out[line] == nil {
+				out[line] = map[string]bool{}
+			}
+			out[line][fields[0]] = true
+		}
+	}
+	return out
+}
+
+// visitor applies the rules within one function body.
+type visitor struct {
+	fset     *token.FileSet
+	info     *types.Info
+	modPath  string
+	pkgName  string
+	funcName string
+	allowed  map[int]map[string]bool
+	findings []Finding
+}
+
+// report records a finding unless a same-line allow comment covers it.
+func (v *visitor) report(pos token.Pos, rule, format string, args ...any) {
+	p := v.fset.Position(pos)
+	if v.allowed[p.Line][rule] {
+		return
+	}
+	v.findings = append(v.findings, Finding{Pos: p, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (v *visitor) inspect(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.BinaryExpr:
+		if n.Op == token.EQL || n.Op == token.NEQ {
+			if v.isFloat(n.X) || v.isFloat(n.Y) {
+				v.report(n.OpPos, ruleFloatEq,
+					"floating-point %s comparison; use core.AlmostEqual or restructure", n.Op)
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := n.Fun.(*ast.Ident); ok && isBuiltinPanic(id, v.info) {
+			// A library package must return errors; panics are reserved
+			// for Must* convenience constructors.
+			if v.pkgName != "main" && !strings.HasPrefix(v.funcName, "Must") {
+				v.report(n.Pos(), rulePanic,
+					"panic in library function %s; return an error instead", v.funcName)
+			}
+		}
+	case *ast.ExprStmt:
+		call, ok := n.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v.returnsError(call) && v.isModuleCall(call) {
+			v.report(call.Pos(), ruleIgnoredErr,
+				"result of %s includes an error that is discarded", callName(call))
+		}
+	}
+	return true
+}
+
+// isFloat reports whether the expression has a floating-point type.
+func (v *visitor) isFloat(e ast.Expr) bool {
+	t := v.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isBuiltinPanic reports whether the identifier resolves to the builtin
+// panic (and not a local function or variable shadowing the name).
+func isBuiltinPanic(id *ast.Ident, info *types.Info) bool {
+	if id.Name != "panic" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// errType is the universe error type.
+var errType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call's results include an error value.
+func (v *visitor) returnsError(call *ast.CallExpr) bool {
+	t := v.info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	isErr := func(t types.Type) bool {
+		return types.Identical(t, errType)
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErr(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErr(t)
+	}
+}
+
+// isModuleCall reports whether the callee is defined inside this module —
+// the rule targets the repo's own solver APIs, not fmt.Fprintf and
+// friends whose errors are routinely irrelevant.
+func (v *visitor) isModuleCall(call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = v.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = v.info.Uses[fun.Sel]
+	default:
+		return false
+	}
+	if obj == nil {
+		return false
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	// Same package under analysis (its path is the module-relative import
+	// path) or any package below the module path.
+	return pkg.Path() == v.modPath || strings.HasPrefix(pkg.Path(), v.modPath+"/")
+}
+
+// callName renders the callee for a message.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var _ types.Importer = (*loader)(nil)
+
+// writeModule lays out a throwaway module on disk and returns its root.
+// Fixture packages import nothing but the standard library, so the
+// loader's stdlib importer covers everything.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// vetFixture analyzes the given package directories of a fixture module.
+func vetFixture(t *testing.T, root string, patterns ...string) []Finding {
+	t.Helper()
+	findings, err := vetDirs(root, "tmpmod", patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func rules(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Rule]++
+	}
+	return out
+}
+
+func TestFloatEqRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+func Cmp(a, b float64) bool { return a == b }
+
+func CmpNeq(a, b float32) bool { return a != b }
+
+func IntCmp(a, b int) bool { return a == b }
+
+func Allowed(a, b float64) bool {
+	return a == b //numvet:allow float-eq sentinel check
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib")
+	if got := rules(fs)[ruleFloatEq]; got != 2 {
+		t.Fatalf("want 2 float-eq findings (float64 ==, float32 !=), got %d: %v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Pos.Line != 3 && f.Pos.Line != 5 {
+			t.Errorf("finding on unexpected line %d: %v", f.Pos.Line, f)
+		}
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+func New(x float64) (float64, error) {
+	if x < 0 {
+		panic("negative")
+	}
+	return x, nil
+}
+
+// MustNew is the documented convenience wrapper; Must* names are exempt.
+func MustNew(x float64) float64 {
+	v, err := New(x)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Shadowed calls a local function named panic, which is not the builtin.
+func Shadowed() {
+	panic := func(string) {}
+	panic("fine")
+}
+`,
+		"cmd/tool/main.go": `package main
+
+func main() {
+	panic("mains may panic")
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib", "./cmd/tool")
+	if got := rules(fs)[rulePanic]; got != 1 {
+		t.Fatalf("want exactly 1 panic finding (in New), got %d: %v", got, fs)
+	}
+	if fs[0].Pos.Line != 5 {
+		t.Errorf("panic finding at line %d, want 5: %v", fs[0].Pos.Line, fs[0])
+	}
+}
+
+func TestIgnoredErrRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+import (
+	"fmt"
+	"strings"
+)
+
+func Fallible() error { return nil }
+
+func Pair() (int, error) { return 0, nil }
+
+func Clean() int { return 1 }
+
+func Use(b *strings.Builder) {
+	Fallible()            // finding: module API error discarded
+	Pair()                // finding: tuple including error discarded
+	Clean()               // no finding: no error in results
+	fmt.Fprintln(b, "ok") // no finding: stdlib callee
+	_ = Fallible()        // no finding: explicitly assigned away
+}
+
+func UseAllowed() {
+	Fallible() //numvet:allow ignored-err best-effort cache warm
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib")
+	if got := rules(fs)[ruleIgnoredErr]; got != 2 {
+		t.Fatalf("want 2 ignored-err findings, got %d: %v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Pos.Line != 15 && f.Pos.Line != 16 {
+			t.Errorf("finding on unexpected line %d: %v", f.Pos.Line, f)
+		}
+	}
+}
+
+func TestCrossPackageImportResolution(t *testing.T) {
+	// The dep package must be loaded through the module-aware importer for
+	// the caller package to type-check at all.
+	root := writeModule(t, map[string]string{
+		"dep/dep.go": `package dep
+
+func Do() error { return nil }
+`,
+		"lib/lib.go": `package lib
+
+import "tmpmod/dep"
+
+func Use() {
+	dep.Do()
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib")
+	if got := rules(fs)[ruleIgnoredErr]; got != 1 {
+		t.Fatalf("want 1 ignored-err finding via cross-package call, got %d: %v", got, fs)
+	}
+}
+
+func TestTestFilesAreSkipped(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+func Sq(x float64) float64 { return x * x }
+`,
+		"lib/lib_test.go": `package lib
+
+import "testing"
+
+func TestSq(t *testing.T) {
+	if Sq(2) == 4 { // float-eq is fine in tests; the file is never parsed
+		t.Log("ok")
+	}
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib")
+	if len(fs) != 0 {
+		t.Fatalf("test files must be excluded, got: %v", fs)
+	}
+}
+
+func TestExpandPatternsRecursive(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go":          "package a\n",
+		"a/b/b.go":        "package b\n",
+		"a/testdata/x.go": "package x\n",
+		"docs/readme.txt": "no go files here\n",
+	})
+	dirs, err := expandPatterns(root, []string{"./a/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("want 2 dirs (a, a/b; testdata skipped), got %v", dirs)
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	root := writeModule(t, map[string]string{"a/a.go": "package a\n"})
+	gotRoot, gotPath, err := findModule(filepath.Join(root, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "tmpmod" {
+		t.Errorf("module path = %q, want tmpmod", gotPath)
+	}
+	resolvedRoot, _ := filepath.EvalSymlinks(root)
+	resolvedGot, _ := filepath.EvalSymlinks(gotRoot)
+	if resolvedGot != resolvedRoot {
+		t.Errorf("module root = %q, want %q", gotRoot, root)
+	}
+}
+
+// TestRepoIsClean pins the acceptance criterion: the repo's own library
+// packages carry zero unacknowledged findings.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, modPath, err := findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := vetDirs(modRoot, modPath, []string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("numvet findings in ./internal/...:")
+		for _, f := range fs {
+			t.Errorf("  %s", f)
+		}
+	}
+}

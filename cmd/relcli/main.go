@@ -2,12 +2,18 @@
 //
 // Usage:
 //
-//	relcli -model system.json [-json]
+//	relcli -model system.json [-json] [-preflight]
 //	cat system.json | relcli [-json]
+//	relcli lint [-json] model.json [model.json ...]
 //
 // The input format is documented in internal/modelio and README.md; it
-// covers reliability block diagrams, fault trees, CTMCs, and reliability
-// graphs with per-model measure selection.
+// covers reliability block diagrams, fault trees, CTMCs, reliability
+// graphs, and stochastic Petri nets with per-model measure selection.
+//
+// The lint subcommand statically checks model documents without solving
+// them, printing one diagnostic per line; it exits nonzero when any
+// document has an error-severity finding. See internal/lint for the
+// diagnostic code table.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/lint"
 	"repro/internal/modelio"
 )
 
@@ -28,10 +35,14 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "lint" {
+		return runLint(args[1:], stdin, stdout)
+	}
 	fs := flag.NewFlagSet("relcli", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the JSON model (default: stdin)")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of text")
 	asDOT := fs.Bool("dot", false, "emit the model structure as Graphviz DOT (ctmc/spn)")
+	preflight := fs.Bool("preflight", false, "lint the model and refuse to solve on errors")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +62,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *asDOT {
 		return modelio.WriteDOT(spec, stdout)
 	}
-	results, err := modelio.Solve(spec)
+	results, err := modelio.SolveWithOptions(spec, modelio.SolveOptions{Preflight: *preflight})
 	if err != nil {
 		return err
 	}
@@ -62,4 +73,65 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	_, err = io.WriteString(stdout, modelio.Render(spec.Name, results))
 	return err
+}
+
+// lintFileReport is one document's findings in the -json output.
+type lintFileReport struct {
+	File        string            `json:"file"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+}
+
+// runLint implements the lint subcommand: statically check one or more
+// model documents (or stdin when no files are given).
+func runLint(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("relcli lint", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+
+	var reports []lintFileReport
+	if len(files) == 0 {
+		_, ds := modelio.LintDocument(stdin)
+		reports = append(reports, lintFileReport{File: "<stdin>", Diagnostics: ds})
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		_, ds := modelio.LintDocument(f)
+		f.Close()
+		reports = append(reports, lintFileReport{File: path, Diagnostics: ds})
+	}
+
+	bad := 0
+	for _, r := range reports {
+		if lint.HasErrors(r.Diagnostics) {
+			bad++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		total := 0
+		for _, r := range reports {
+			for _, d := range r.Diagnostics {
+				fmt.Fprintf(stdout, "%s: %s\n", r.File, d)
+				total++
+			}
+		}
+		if total == 0 {
+			fmt.Fprintf(stdout, "%d model(s) clean\n", len(reports))
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("lint: %d of %d model(s) have errors", bad, len(reports))
+	}
+	return nil
 }

@@ -23,6 +23,10 @@ func TestBundledModels(t *testing.T) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
+		// broken_*.json are deliberately ill-formed lint fixtures.
+		if strings.HasPrefix(e.Name(), "broken_") {
+			continue
+		}
 		name := e.Name()
 		t.Run(name, func(t *testing.T) {
 			var out strings.Builder

@@ -73,7 +73,7 @@ func (m *Manager) CriticalityImportance(f Ref, p []float64, v int) (float64, err
 	if err != nil {
 		return 0, err
 	}
-	if sys == 0 {
+	if sys == 0 { //numvet:allow float-eq exact zero guards the division below
 		return 0, nil
 	}
 	if v < 0 || v >= m.nvars {

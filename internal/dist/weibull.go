@@ -45,11 +45,11 @@ func (d Weibull) PDF(t float64) float64 {
 	if t < 0 {
 		return 0
 	}
-	if t == 0 {
+	if t == 0 { //numvet:allow float-eq hazard at exactly t=0 is a closed-form boundary case
 		if d.shape < 1 {
 			return math.Inf(1)
 		}
-		if d.shape == 1 {
+		if d.shape == 1 { //numvet:allow float-eq shape exactly 1 is the exponential boundary case
 			return 1 / d.scale
 		}
 		return 0
@@ -63,11 +63,11 @@ func (d Weibull) Hazard(t float64) float64 {
 	if t < 0 {
 		return 0
 	}
-	if t == 0 {
+	if t == 0 { //numvet:allow float-eq hazard at exactly t=0 is a closed-form boundary case
 		switch {
 		case d.shape < 1:
 			return math.Inf(1)
-		case d.shape == 1:
+		case d.shape == 1: //numvet:allow float-eq shape exactly 1 is the exponential boundary case
 			return 1 / d.scale
 		default:
 			return 0

@@ -22,17 +22,25 @@ func seriesOfParallelPairs(n int, lam, mu float64) (*rbd.Model, error) {
 	if n%2 != 0 {
 		n++
 	}
+	life, err := dist.NewExponential(lam)
+	if err != nil {
+		return nil, err
+	}
+	repair, err := dist.NewExponential(mu)
+	if err != nil {
+		return nil, err
+	}
 	blocks := make([]*rbd.Block, 0, n/2)
 	for i := 0; i < n/2; i++ {
 		a := &rbd.Component{
 			Name:     "a" + strconv.Itoa(i),
-			Lifetime: dist.MustExponential(lam),
-			Repair:   dist.MustExponential(mu),
+			Lifetime: life,
+			Repair:   repair,
 		}
 		b := &rbd.Component{
 			Name:     "b" + strconv.Itoa(i),
-			Lifetime: dist.MustExponential(lam),
-			Repair:   dist.MustExponential(mu),
+			Lifetime: life,
+			Repair:   repair,
 		}
 		blocks = append(blocks, rbd.Parallel(rbd.Comp(a), rbd.Comp(b)))
 	}
@@ -259,8 +267,16 @@ func E5SharedRepair() (*core.Table, error) {
 	mu := 1.0
 	for _, ratio := range []float64{0.001, 0.01, 0.1, 0.5, 1.0} {
 		lam := ratio * mu
-		a := &rbd.Component{Name: "a", Lifetime: dist.MustExponential(lam), Repair: dist.MustExponential(mu)}
-		b := &rbd.Component{Name: "b", Lifetime: dist.MustExponential(lam), Repair: dist.MustExponential(mu)}
+		life, err := dist.NewExponential(lam)
+		if err != nil {
+			return nil, err
+		}
+		repair, err := dist.NewExponential(mu)
+		if err != nil {
+			return nil, err
+		}
+		a := &rbd.Component{Name: "a", Lifetime: life, Repair: repair}
+		b := &rbd.Component{Name: "b", Lifetime: life, Repair: repair}
 		m, err := rbd.New(rbd.Parallel(rbd.Comp(a), rbd.Comp(b)))
 		if err != nil {
 			return nil, err

@@ -88,7 +88,7 @@ func (m *Dense) VecMul(x []float64) ([]float64, error) {
 	y := make([]float64, m.cols)
 	for i := 0; i < m.rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //numvet:allow float-eq skipping exact zeros is a sparsity optimization
 			continue
 		}
 		row := m.Row(i)
@@ -109,7 +109,7 @@ func (m *Dense) Mul(b *Dense) (*Dense, error) {
 		arow := m.Row(i)
 		orow := out.Row(i)
 		for k, aik := range arow {
-			if aik == 0 {
+			if aik == 0 { //numvet:allow float-eq skipping exact zeros is a sparsity optimization
 				continue
 			}
 			brow := b.Row(k)
@@ -163,7 +163,7 @@ func LUSolve(a *Dense, b []float64) ([]float64, error) {
 				best, p = v, r
 			}
 		}
-		if best == 0 {
+		if best == 0 { //numvet:allow float-eq exactly-zero pivot means structural singularity
 			return nil, fmt.Errorf("lusolve: singular matrix at column %d", col)
 		}
 		if p != col {
@@ -176,7 +176,7 @@ func LUSolve(a *Dense, b []float64) ([]float64, error) {
 		piv := lu.At(col, col)
 		for r := col + 1; r < n; r++ {
 			f := lu.At(r, col) / piv
-			if f == 0 {
+			if f == 0 { //numvet:allow float-eq skipping exact zeros is a sparsity optimization
 				continue
 			}
 			lu.Set(r, col, 0)

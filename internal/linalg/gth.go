@@ -47,12 +47,12 @@ func GTH(q *Dense) ([]float64, error) {
 		for j := 0; j < k; j++ {
 			s += a.At(k, j)
 		}
-		if s == 0 {
+		if s == 0 { //numvet:allow float-eq exactly-zero sum means a structurally reducible generator
 			return nil, fmt.Errorf("gth: state %d has no transitions to lower-indexed states; generator reducible", k)
 		}
 		for i := 0; i < k; i++ {
 			aik := a.At(i, k)
-			if aik == 0 {
+			if aik == 0 { //numvet:allow float-eq skipping exact zeros is a sparsity optimization
 				continue
 			}
 			f := aik / s

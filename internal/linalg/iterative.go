@@ -48,10 +48,10 @@ func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
 		return nil, 0, fmt.Errorf("sor: empty generator")
 	}
 	def := DefaultSOROptions()
-	if opts.Omega == 0 {
+	if opts.Omega == 0 { //numvet:allow float-eq zero means unset; option-default sentinel
 		opts.Omega = def.Omega
 	}
-	if opts.Tol == 0 {
+	if opts.Tol == 0 { //numvet:allow float-eq zero means unset; option-default sentinel
 		opts.Tol = def.Tol
 	}
 	if opts.MaxIter == 0 {
@@ -74,7 +74,7 @@ func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
 					out += val
 				}
 			})
-			if out == 0 {
+			if out == 0 { //numvet:allow float-eq exactly-zero diagonal means a structurally reducible generator
 				return nil, 0, fmt.Errorf("sor: state %d has no outgoing rate; generator reducible", j)
 			}
 			d = -out
@@ -143,7 +143,7 @@ func PowerIteration(p *CSR, tol float64, maxIter int) ([]float64, int, error) {
 	if n == 0 {
 		return nil, 0, fmt.Errorf("power: empty matrix")
 	}
-	if tol == 0 {
+	if tol == 0 { //numvet:allow float-eq zero means unset; option-default sentinel
 		tol = 1e-13
 	}
 	if maxIter == 0 {

@@ -78,10 +78,10 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 		tol = 1e-12
 	}
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //numvet:allow float-eq exact root short-circuit; tolerance is handled by the bracket test
 		return a, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //numvet:allow float-eq exact root short-circuit; tolerance is handled by the bracket test
 		return b, nil
 	}
 	if fa*fb > 0 {
@@ -95,11 +95,11 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 	mflag := true
 	var d float64
 	for i := 0; i < 200; i++ {
-		if fb == 0 || math.Abs(b-a) < tol {
+		if fb == 0 || math.Abs(b-a) < tol { //numvet:allow float-eq exact root short-circuit; tolerance is handled by the bracket test
 			return b, nil
 		}
 		var s float64
-		if fa != fc && fb != fc {
+		if fa != fc && fb != fc { //numvet:allow float-eq coincident ordinates must be excluded exactly before interpolating
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +
 				b*fa*fc/((fb-fa)*(fb-fc)) +

@@ -30,7 +30,7 @@ func (c *COO) Add(i, j int, v float64) error {
 	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
 		return fmt.Errorf("coo add: (%d,%d) outside %dx%d: %w", i, j, c.rows, c.cols, ErrDimensionMismatch)
 	}
-	if v == 0 {
+	if v == 0 { //numvet:allow float-eq exact zeros are structurally absent from a sparse matrix
 		return nil
 	}
 	c.entries = append(c.entries, Triplet{Row: i, Col: j, Val: v})
@@ -59,7 +59,7 @@ func (c *COO) ToCSR() *CSR {
 			v += c.entries[k].Val
 			k++
 		}
-		if v != 0 {
+		if v != 0 { //numvet:allow float-eq exact zeros are structurally absent from a sparse matrix
 			m.colIdx = append(m.colIdx, e.Col)
 			m.vals = append(m.vals, v)
 			m.rowPtr[e.Row+1]++
@@ -130,7 +130,7 @@ func (m *CSR) VecMul(x []float64) ([]float64, error) {
 	y := make([]float64, m.cols)
 	for i := 0; i < m.rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //numvet:allow float-eq skipping exact zeros is a sparsity optimization
 			continue
 		}
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {

@@ -72,7 +72,7 @@ func Scale(v []float64, c float64) []float64 {
 // It returns an error if the element sum is zero or not finite.
 func Normalize1(v []float64) error {
 	s := Sum(v)
-	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) { //numvet:allow float-eq exact zero guards the division below
 		return fmt.Errorf("normalize: element sum %v is not usable", s)
 	}
 	Scale(v, 1/s)

@@ -1,0 +1,39 @@
+package lint
+
+import "testing"
+
+func TestCheckDist(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dist
+		code string // "" means clean
+	}{
+		{"valid exponential", Dist{Kind: "exponential", Rate: 0.5}, ""},
+		{"zero exponential rate", Dist{Kind: "exponential", Rate: 0}, CodeDistBadParam},
+		{"valid weibull", Dist{Kind: "weibull", Shape: 1.5, Scale: 8000}, ""},
+		{"negative weibull shape", Dist{Kind: "weibull", Shape: -1, Scale: 10}, CodeDistBadParam},
+		{"valid lognormal", Dist{Kind: "lognormal", Mu: 1.2, Sigma: 0.5}, ""},
+		{"zero lognormal sigma", Dist{Kind: "lognormal", Mu: 1, Sigma: 0}, CodeDistBadParam},
+		{"valid gamma", Dist{Kind: "gamma", Shape: 2, Rate: 1}, ""},
+		{"valid deterministic", Dist{Kind: "deterministic", Value: 4}, ""},
+		{"negative deterministic", Dist{Kind: "deterministic", Value: -1}, CodeDistBadParam},
+		{"valid uniform", Dist{Kind: "uniform", Lo: 1, Hi: 2}, ""},
+		{"inverted uniform", Dist{Kind: "uniform", Lo: 2, Hi: 1}, CodeDistBadParam},
+		{"valid erlang", Dist{Kind: "erlang", Stages: 3, Rate: 1}, ""},
+		{"zero erlang stages", Dist{Kind: "erlang", Stages: 0, Rate: 1}, CodeDistBadParam},
+		{"unknown kind", Dist{Kind: "zipf", Rate: 1}, CodeDistUnknownKind},
+	}
+	for _, c := range cases {
+		ds := CheckDist("x.lifetime", c.d)
+		if c.code == "" {
+			if len(ds) != 0 {
+				t.Errorf("%s: unexpected diagnostics %v", c.name, ds)
+			}
+			continue
+		}
+		d := wantCode(t, ds, c.code, SevError)
+		if d.Path != "x.lifetime" {
+			t.Errorf("%s: bad path %q", c.name, d.Path)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package lint statically checks reliability models for structural
+// problems before they reach a solver. The tutorial's workflow trusts the
+// numbers a model produces, so the most dangerous inputs are the ones that
+// are *almost* right: generator rows that do not sum to zero, states the
+// initial state can never reach, fault-tree gates referencing events that
+// were never declared, Petri-net transitions that can never fire. This
+// package turns each of those into a Diagnostic with a stable code, a
+// JSON-ish path into the offending document, and an actionable message.
+//
+// The analyzers operate on small formalism-specific input structs (CTMC,
+// FaultTree, RBD, RelGraph, SPN) rather than on the modelio spec types, so
+// the modelio package can depend on lint for its pre-flight hook without
+// creating an import cycle; modelio.Lint adapts a parsed spec into a
+// lint.Input and calls Model.
+//
+// # Diagnostic codes
+//
+// Markov chains (CheckCTMC, CheckGenerator, CheckStochastic):
+//
+//	CT001  error    transition rate is not a positive finite number
+//	CT002  warning  self-loop transition (dropped by the solver)
+//	CT003  warning  duplicate transition pair (rates are summed)
+//	CT004  error    initial/up/absorbing state not in any transition
+//	CT005  warning  state unreachable from the initial state
+//	CT006  error*   multiple closed communicating classes (*warning
+//	                unless a steady-state measure is requested)
+//	CT007  warning  absorbing state in a steady-state/availability model
+//	CT008  error    transition with an empty endpoint name
+//	GEN001 error    generator row does not sum to zero
+//	GEN002 error    negative off-diagonal generator entry
+//	GEN003 error    generator matrix is not square
+//	STO001 error    stochastic row does not sum to one
+//	STO002 error    probability entry outside [0,1]
+//	STO003 error    stochastic matrix is not square
+//
+// Fault trees (CheckFaultTree):
+//
+//	FT001  error    reference to an undeclared basic event
+//	FT002  error    atleast gate with k out of range
+//	FT003  error    event probability outside [0,1]
+//	FT004  warning  shared subtree / repeated basic event (results are
+//	                bounds, not exact — the Boeing bounding case)
+//	FT005  warning  declared event never referenced
+//	FT006  error    malformed gate (no children, unknown op, bad leaf)
+//	FT007  error    cycle in the gate structure
+//	FT008  error    basic event declared more than once
+//	FT009  error    fault tree without a top gate
+//
+// Reliability block diagrams (CheckRBD):
+//
+//	RBD001 error    reference to an undeclared component
+//	RBD002 error    kofn block with k out of range
+//	RBD003 warning  declared component never placed in the structure
+//	RBD004 warning  shared block / repeated component
+//	RBD005 error    cycle in the block structure
+//	RBD006 error    malformed block (no children, unknown op, bad leaf)
+//	RBD007 error    component declared more than once
+//	RBD008 error    block diagram without a structure
+//
+// Reliability graphs (CheckRelGraph):
+//
+//	RG001  error    missing or undeclared source/target terminal
+//	RG002  error    edge reliability outside [0,1]
+//	RG003  error    target unreachable from source
+//	RG004  warning  duplicate edge name
+//	RG005  warning  node on no source-to-target path
+//	RG006  warning  self-loop edge
+//
+// Stochastic Petri nets (CheckSPN):
+//
+//	PN001  error    arc references an undeclared place
+//	PN002  error    arc references an undeclared transition
+//	PN003  error    transition rate/weight is not a positive finite number
+//	PN004  error    structurally dead transition (inhibitor ≤ input mult)
+//	PN005  warning  source transition makes its output places unbounded
+//	PN006  error    negative initial token count
+//	PN007  error    duplicate or empty place/transition name
+//	PN008  error    nonpositive arc multiplicity
+//	PN009  warning  place or transition with no arcs
+//
+// Distributions (CheckDist):
+//
+//	DIST001 error   invalid distribution parameter
+//	DIST002 error   unknown distribution kind
+//
+// Documents (issued by modelio.Lint, listed here so the code space stays
+// in one place):
+//
+//	SPEC001 error   document is not valid JSON for the model schema
+//	SPEC002 error   unknown or missing model type
+//	SPEC003 error   model type without its matching section
+//	SPEC004 error   unknown measure name
+//	SPEC005 error   measure requires a field the document does not set
+package lint
+
+// Diagnostic code constants. The codes are stable identifiers: tests,
+// scripts, and downstream tooling match on them, so existing codes must
+// never be renumbered — only appended to.
+const (
+	CodeCTMCBadRate      = "CT001"
+	CodeCTMCSelfLoop     = "CT002"
+	CodeCTMCDuplicate    = "CT003"
+	CodeCTMCUnknownState = "CT004"
+	CodeCTMCUnreachable  = "CT005"
+	CodeCTMCReducible    = "CT006"
+	CodeCTMCAbsorbing    = "CT007"
+	CodeCTMCEmptyState   = "CT008"
+
+	CodeGenRowSum    = "GEN001"
+	CodeGenNegative  = "GEN002"
+	CodeGenNotSquare = "GEN003"
+
+	CodeStoRowSum    = "STO001"
+	CodeStoRange     = "STO002"
+	CodeStoNotSquare = "STO003"
+
+	CodeFTUnknownEvent   = "FT001"
+	CodeFTArity          = "FT002"
+	CodeFTProbRange      = "FT003"
+	CodeFTSharedSubtree  = "FT004"
+	CodeFTUnusedEvent    = "FT005"
+	CodeFTBadGate        = "FT006"
+	CodeFTCycle          = "FT007"
+	CodeFTDuplicateEvent = "FT008"
+	CodeFTMissingTop     = "FT009"
+
+	CodeRBDUnknownComp      = "RBD001"
+	CodeRBDArity            = "RBD002"
+	CodeRBDUnusedComp       = "RBD003"
+	CodeRBDSharedBlock      = "RBD004"
+	CodeRBDCycle            = "RBD005"
+	CodeRBDBadBlock         = "RBD006"
+	CodeRBDDuplicateComp    = "RBD007"
+	CodeRBDMissingStructure = "RBD008"
+
+	CodeRGBadTerminal   = "RG001"
+	CodeRGRelRange      = "RG002"
+	CodeRGUnreachable   = "RG003"
+	CodeRGDuplicateEdge = "RG004"
+	CodeRGOffPath       = "RG005"
+	CodeRGSelfLoop      = "RG006"
+
+	CodePNUnknownPlace      = "PN001"
+	CodePNUnknownTransition = "PN002"
+	CodePNBadRate           = "PN003"
+	CodePNDeadTransition    = "PN004"
+	CodePNUnbounded         = "PN005"
+	CodePNNegativeTokens    = "PN006"
+	CodePNDuplicateName     = "PN007"
+	CodePNBadMult           = "PN008"
+	CodePNDisconnected      = "PN009"
+
+	CodeDistBadParam    = "DIST001"
+	CodeDistUnknownKind = "DIST002"
+
+	CodeSpecParse   = "SPEC001"
+	CodeSpecType    = "SPEC002"
+	CodeSpecSection = "SPEC003"
+	CodeSpecMeasure = "SPEC004"
+	CodeSpecField   = "SPEC005"
+)

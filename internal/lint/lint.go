@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	// SevInfo marks advisory output that needs no action.
+	SevInfo Severity = iota
+	// SevWarning marks a construct that solves but is likely not what the
+	// modeler meant (shared subtrees, unreachable states, …).
+	SevWarning
+	// SevError marks a model that is structurally ill-formed; solving it
+	// would panic, diverge, or silently produce garbage.
+	SevError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Diagnostic is one finding of the model linter.
+type Diagnostic struct {
+	// Code is the stable machine-readable identifier (see doc.go).
+	Code string `json:"code"`
+	// Severity ranks the finding.
+	Severity Severity `json:"severity"`
+	// Path locates the offending element in the model document, in
+	// JSON-ish dotted form, e.g. "ctmc.transitions[3].rate".
+	Path string `json:"path"`
+	// Msg explains the problem and, where possible, the fix.
+	Msg string `json:"msg"`
+}
+
+// String formats the diagnostic as "severity CODE path: msg".
+func (d Diagnostic) String() string {
+	if d.Path == "" {
+		return fmt.Sprintf("%s %s: %s", d.Severity, d.Code, d.Msg)
+	}
+	return fmt.Sprintf("%s %s %s: %s", d.Severity, d.Code, d.Path, d.Msg)
+}
+
+// errf appends an error diagnostic.
+func errf(ds []Diagnostic, code, path, format string, args ...any) []Diagnostic {
+	return append(ds, Diagnostic{Code: code, Severity: SevError, Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+// warnf appends a warning diagnostic.
+func warnf(ds []Diagnostic, code, path, format string, args ...any) []Diagnostic {
+	return append(ds, Diagnostic{Code: code, Severity: SevWarning, Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Sort orders diagnostics by severity (errors first), then path, then code,
+// giving deterministic reports.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Severity != ds[j].Severity {
+			return ds[i].Severity > ds[j].Severity
+		}
+		if ds[i].Path != ds[j].Path {
+			return ds[i].Path < ds[j].Path
+		}
+		return ds[i].Code < ds[j].Code
+	})
+}
+
+// Error aggregates lint errors into a single error value; the solvers'
+// pre-flight hook returns it when a model fails to lint.
+type Error struct {
+	Diags []Diagnostic
+}
+
+// Error implements the error interface, listing every diagnostic.
+func (e *Error) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "model failed lint with %d problem(s):", len(e.Diags))
+	for _, d := range e.Diags {
+		sb.WriteString("\n  ")
+		sb.WriteString(d.String())
+	}
+	return sb.String()
+}
+
+// Input bundles the per-formalism views of one model. Exactly one field is
+// normally set; Model runs every analyzer whose input is present.
+type Input struct {
+	CTMC      *CTMC
+	FaultTree *FaultTree
+	RBD       *RBD
+	RelGraph  *RelGraph
+	SPN       *SPN
+}
+
+// Model runs all applicable analyzers over the input and returns the
+// sorted findings. An empty slice means the model is clean.
+func Model(in Input) []Diagnostic {
+	var ds []Diagnostic
+	if in.CTMC != nil {
+		ds = append(ds, CheckCTMC(*in.CTMC)...)
+	}
+	if in.FaultTree != nil {
+		ds = append(ds, CheckFaultTree(*in.FaultTree)...)
+	}
+	if in.RBD != nil {
+		ds = append(ds, CheckRBD(*in.RBD)...)
+	}
+	if in.RelGraph != nil {
+		ds = append(ds, CheckRelGraph(*in.RelGraph)...)
+	}
+	if in.SPN != nil {
+		ds = append(ds, CheckSPN(*in.SPN)...)
+	}
+	Sort(ds)
+	return ds
+}

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// rowSumTol is the tolerance for generator/stochastic row-sum checks.
+const rowSumTol = 1e-9
+
+// Transition is one named-state rate entry of a CTMC under lint.
+type Transition struct {
+	From, To string
+	Rate     float64
+}
+
+// CTMC is the linter's view of a continuous-time Markov chain model.
+type CTMC struct {
+	Transitions []Transition
+	// Initial is the declared initial state ("" if none).
+	Initial string
+	// UpStates are the states counted as up for availability.
+	UpStates []string
+	// Absorbing are the states the modeler declared absorbing (e.g. the
+	// targets of an MTTA measure); closed classes made of these states
+	// are intentional and not reported.
+	Absorbing []string
+	// NeedsSteadyState is true when a steady-state or availability
+	// measure was requested, which strengthens the structural checks.
+	NeedsSteadyState bool
+}
+
+// CheckCTMC runs the structural checks on a CTMC description.
+func CheckCTMC(m CTMC) []Diagnostic {
+	var ds []Diagnostic
+	states := map[string]int{} // name -> index in order of first appearance
+	var names []string
+	intern := func(name string) int {
+		if i, ok := states[name]; ok {
+			return i
+		}
+		i := len(names)
+		states[name] = i
+		names = append(names, name)
+		return i
+	}
+	adj := map[int][]int{}
+	seen := map[[2]string]bool{}
+	for i, tr := range m.Transitions {
+		path := fmt.Sprintf("ctmc.transitions[%d]", i)
+		if tr.From == "" || tr.To == "" {
+			ds = errf(ds, CodeCTMCEmptyState, path, "transition must name both endpoint states")
+			continue
+		}
+		from, to := intern(tr.From), intern(tr.To)
+		if tr.Rate <= 0 || math.IsNaN(tr.Rate) || math.IsInf(tr.Rate, 0) {
+			ds = errf(ds, CodeCTMCBadRate, path+".rate",
+				"rate %g is not a positive finite number", tr.Rate)
+		}
+		if tr.From == tr.To {
+			ds = warnf(ds, CodeCTMCSelfLoop, path,
+				"self-loop on state %q has no effect in a CTMC and is dropped by the solver", tr.From)
+			continue
+		}
+		key := [2]string{tr.From, tr.To}
+		if seen[key] {
+			ds = warnf(ds, CodeCTMCDuplicate, path,
+				"duplicate transition %s -> %s; rates will be summed", tr.From, tr.To)
+		}
+		seen[key] = true
+		adj[from] = append(adj[from], to)
+	}
+
+	known := func(name, path string) {
+		if _, ok := states[name]; !ok {
+			ds = errf(ds, CodeCTMCUnknownState, path,
+				"state %q does not appear in any transition", name)
+		}
+	}
+	if m.Initial != "" {
+		known(m.Initial, "ctmc.initial")
+	}
+	for i, s := range m.UpStates {
+		known(s, fmt.Sprintf("ctmc.upStates[%d]", i))
+	}
+	for i, s := range m.Absorbing {
+		known(s, fmt.Sprintf("ctmc.absorbing[%d]", i))
+	}
+
+	n := len(names)
+	if n == 0 {
+		return ds
+	}
+
+	// Reachability from the initial state.
+	if _, ok := states[m.Initial]; m.Initial != "" && ok {
+		reach := make([]bool, n)
+		stack := []int{states[m.Initial]}
+		reach[states[m.Initial]] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[v] {
+				if !reach[w] {
+					reach[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		for i, r := range reach {
+			if !r {
+				ds = warnf(ds, CodeCTMCUnreachable, "ctmc",
+					"state %q is unreachable from initial state %q", names[i], m.Initial)
+			}
+		}
+	}
+
+	declared := map[string]bool{}
+	for _, s := range m.Absorbing {
+		declared[s] = true
+	}
+
+	// Absorbing states (no outgoing transitions).
+	hasOut := make([]bool, n)
+	for v, ws := range adj {
+		if len(ws) > 0 {
+			hasOut[v] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !hasOut[i] && !declared[names[i]] && m.NeedsSteadyState {
+			ds = warnf(ds, CodeCTMCAbsorbing, "ctmc",
+				"state %q is absorbing; the steady-state/availability result will concentrate all probability in it", names[i])
+		}
+	}
+
+	// Closed communicating classes via Tarjan SCC: more than one closed
+	// class means the steady-state distribution depends on the initial
+	// state and the linear solve is singular in a way availability models
+	// do not expect.
+	comp := tarjan(n, adj)
+	closed := map[int]bool{}
+	for c := range comp.members {
+		closed[c] = true
+	}
+	for v, ws := range adj {
+		for _, w := range ws {
+			if comp.of[v] != comp.of[w] {
+				closed[comp.of[v]] = false
+			}
+		}
+	}
+	var closedClasses [][]int
+	for c, isClosed := range closed {
+		if !isClosed {
+			continue
+		}
+		// Classes made entirely of declared absorbing states are the
+		// intended targets of MTTA-style measures.
+		allDeclared := true
+		for _, v := range comp.members[c] {
+			if !declared[names[v]] {
+				allDeclared = false
+				break
+			}
+		}
+		if !allDeclared {
+			closedClasses = append(closedClasses, comp.members[c])
+		}
+	}
+	if len(closedClasses) > 1 {
+		sev := warnf
+		if m.NeedsSteadyState {
+			sev = errf
+		}
+		ds = sev(ds, CodeCTMCReducible, "ctmc",
+			"chain has %d closed communicating classes; the long-run distribution is not unique", len(closedClasses))
+	}
+	return ds
+}
+
+// sccResult maps vertices to strongly connected components.
+type sccResult struct {
+	of      []int         // vertex -> component id
+	members map[int][]int // component id -> vertices
+}
+
+// tarjan computes strongly connected components of the directed graph with
+// n vertices and adjacency adj.
+func tarjan(n int, adj map[int][]int) sccResult {
+	res := sccResult{of: make([]int, n), members: map[int][]int{}}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next, comps := 0, 0
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			id := comps
+			comps++
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				res.of[w] = id
+				res.members[id] = append(res.members[id], w)
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strongconnect(v)
+		}
+	}
+	return res
+}
+
+// CheckGenerator validates a raw CTMC infinitesimal generator matrix:
+// square shape, rows summing to zero, and nonnegative off-diagonals.
+// names labels the states and may be nil.
+func CheckGenerator(names []string, q [][]float64) []Diagnostic {
+	var ds []Diagnostic
+	n := len(q)
+	label := func(i int) string {
+		if i < len(names) {
+			return fmt.Sprintf("state %q", names[i])
+		}
+		return fmt.Sprintf("state %d", i)
+	}
+	for i, row := range q {
+		if len(row) != n {
+			ds = errf(ds, CodeGenNotSquare, fmt.Sprintf("Q[%d]", i),
+				"row has %d entries for %d states", len(row), n)
+			continue
+		}
+		sum := 0.0
+		for j, v := range row {
+			sum += v
+			if i != j && v < 0 {
+				ds = errf(ds, CodeGenNegative, fmt.Sprintf("Q[%d][%d]", i, j),
+					"off-diagonal rate %g of %s is negative", v, label(i))
+			}
+		}
+		if !core.AlmostEqual(sum, 0, rowSumTol) {
+			ds = errf(ds, CodeGenRowSum, fmt.Sprintf("Q[%d]", i),
+				"row of %s sums to %g, want 0", label(i), sum)
+		}
+	}
+	return ds
+}
+
+// CheckStochastic validates a DTMC one-step probability matrix: square
+// shape, entries in [0,1], and rows summing to one. names labels the
+// states and may be nil.
+func CheckStochastic(names []string, p [][]float64) []Diagnostic {
+	var ds []Diagnostic
+	n := len(p)
+	label := func(i int) string {
+		if i < len(names) {
+			return fmt.Sprintf("state %q", names[i])
+		}
+		return fmt.Sprintf("state %d", i)
+	}
+	for i, row := range p {
+		if len(row) != n {
+			ds = errf(ds, CodeStoNotSquare, fmt.Sprintf("P[%d]", i),
+				"row has %d entries for %d states", len(row), n)
+			continue
+		}
+		sum := 0.0
+		for j, v := range row {
+			sum += v
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				ds = errf(ds, CodeStoRange, fmt.Sprintf("P[%d][%d]", i, j),
+					"probability %g of %s is outside [0,1]", v, label(i))
+			}
+		}
+		if !core.AlmostEqual(sum, 1, rowSumTol) {
+			ds = errf(ds, CodeStoRowSum, fmt.Sprintf("P[%d]", i),
+				"row of %s sums to %g, want 1", label(i), sum)
+		}
+	}
+	return ds
+}

@@ -28,7 +28,7 @@ func (c *CTMC) EmbeddedDTMC() (*DTMC, error) {
 		}
 	}
 	for i, total := range totals {
-		if total == 0 {
+		if total == 0 { //numvet:allow float-eq exactly-zero exit rate marks an absorbing state
 			if err := d.AddProb(c.names[i], c.names[i], 1); err != nil {
 				return nil, err
 			}

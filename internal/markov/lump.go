@@ -95,7 +95,7 @@ func sameOutflow(a, b map[string]float64, tol float64) error {
 	for k := range keys {
 		ra, rb := a[k], b[k]
 		scale := math.Max(math.Abs(ra), math.Abs(rb))
-		if scale == 0 {
+		if scale == 0 { //numvet:allow float-eq both rates exactly zero compare equal; guards the division below
 			continue
 		}
 		if math.Abs(ra-rb)/scale > tol {

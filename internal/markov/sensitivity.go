@@ -31,7 +31,7 @@ func (c *CTMC) SteadyStateSensitivity(dRate func(from, to string) float64) (map[
 	dq := linalg.NewDense(n, n)
 	for _, t := range c.trans {
 		d := dRate(c.names[t.from], c.names[t.to])
-		if d != 0 {
+		if d != 0 { //numvet:allow float-eq structurally-zero derivative entries are omitted
 			dq.Add(t.from, t.to, d)
 			dq.Add(t.from, t.from, -d)
 		}

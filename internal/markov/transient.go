@@ -32,7 +32,7 @@ func (c *CTMC) Transient(t float64, p0 []float64, opts TransientOptions) ([]floa
 	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
 		return nil, fmt.Errorf("markov transient: bad time %g", t)
 	}
-	if t == 0 {
+	if t == 0 { //numvet:allow float-eq t exactly 0 returns the initial vector unchanged
 		return v, nil
 	}
 	q, err := c.Generator()
@@ -43,10 +43,10 @@ func (c *CTMC) Transient(t float64, p0 []float64, opts TransientOptions) ([]floa
 	if err != nil {
 		return nil, err
 	}
-	if rate == 0 {
+	if rate == 0 { //numvet:allow float-eq exactly-zero uniformization rate means no transitions
 		return v, nil // no transitions at all
 	}
-	if opts.Tol == 0 {
+	if opts.Tol == 0 { //numvet:allow float-eq zero means unset; option-default sentinel
 		opts.Tol = 1e-12
 	}
 	weights, left, err := poissonWeights(rate*t, opts.Tol)
@@ -113,7 +113,7 @@ func (c *CTMC) CumulativeTransient(t float64, p0 []float64, opts TransientOption
 		return nil, fmt.Errorf("markov cumulative transient: bad time %g", t)
 	}
 	out := make([]float64, len(v))
-	if t == 0 {
+	if t == 0 { //numvet:allow float-eq t exactly 0 returns zero occupancy
 		return out, nil
 	}
 	q, err := c.Generator()
@@ -124,14 +124,14 @@ func (c *CTMC) CumulativeTransient(t float64, p0 []float64, opts TransientOption
 	if err != nil {
 		return nil, err
 	}
-	if rate == 0 {
+	if rate == 0 { //numvet:allow float-eq exactly-zero uniformization rate means no transitions
 		// No transitions: occupancy is p0·t.
 		for i := range out {
 			out[i] = v[i] * t
 		}
 		return out, nil
 	}
-	if opts.Tol == 0 {
+	if opts.Tol == 0 { //numvet:allow float-eq zero means unset; option-default sentinel
 		opts.Tol = 1e-12
 	}
 	weights, left, err := poissonWeights(rate*t, opts.Tol)
@@ -161,7 +161,7 @@ func (c *CTMC) CumulativeTransient(t float64, p0 []float64, opts TransientOption
 		if err := linalg.AXPY(tail/rate, prev, out); err != nil {
 			return nil, err
 		}
-		if tail == 0 {
+		if tail == 0 { //numvet:allow float-eq Poisson tail underflows to exactly 0 at truncation
 			break
 		}
 	}
@@ -195,7 +195,7 @@ func uniformized(q *linalg.CSR) (*linalg.CSR, float64, error) {
 			maxExit = d
 		}
 	}
-	if maxExit == 0 {
+	if maxExit == 0 { //numvet:allow float-eq exactly-zero exit rate means no transitions
 		return nil, 0, nil
 	}
 	rate := maxExit * 1.02
@@ -230,7 +230,7 @@ func poissonWeights(lambda, tol float64) ([]float64, int, error) {
 	if lambda < 0 {
 		return nil, 0, fmt.Errorf("markov: negative poisson rate %g", lambda)
 	}
-	if lambda == 0 {
+	if lambda == 0 { //numvet:allow float-eq lambda exactly 0 is the degenerate Poisson point mass
 		return []float64{1}, 0, nil
 	}
 	mode := int(math.Floor(lambda))

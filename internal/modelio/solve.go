@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/faulttree"
+	"repro/internal/lint"
 	"repro/internal/markov"
 	"repro/internal/rbd"
 	"repro/internal/relgraph"
@@ -22,6 +23,31 @@ type Result struct {
 	Sets [][]string `json:"sets,omitempty"`
 	// Detail holds per-item results (importance measures).
 	Detail map[string]float64 `json:"detail,omitempty"`
+}
+
+// SolveOptions configures optional solver-entry behavior.
+type SolveOptions struct {
+	// Preflight lints the model before solving and refuses to run the
+	// solvers when any error-severity diagnostic is found, returning a
+	// *lint.Error listing them. Warnings never block solving.
+	Preflight bool
+}
+
+// SolveWithOptions evaluates the specification, optionally running the
+// static lint pass first (see SolveOptions.Preflight).
+func SolveWithOptions(s *Spec, opts SolveOptions) ([]Result, error) {
+	if opts.Preflight {
+		var errs []lint.Diagnostic
+		for _, d := range Lint(s) {
+			if d.Severity == lint.SevError {
+				errs = append(errs, d)
+			}
+		}
+		if len(errs) > 0 {
+			return nil, &lint.Error{Diags: errs}
+		}
+	}
+	return Solve(s)
 }
 
 // Solve evaluates every requested measure of the specification.

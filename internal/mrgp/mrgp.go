@@ -122,7 +122,7 @@ func (p *Process) embedded() (jump [][]expEntry, sojourn []float64, err error) {
 		lam := totals[i]
 		d, hasDet := p.det[i]
 		switch {
-		case !hasDet && lam == 0:
+		case !hasDet && lam == 0: //numvet:allow float-eq exactly-zero exit rate marks an absorbing state
 			// Absorbing state: no jumps, infinite sojourn (flagged by -1).
 			sojourn[i] = -1
 		case !hasDet:
@@ -130,7 +130,7 @@ func (p *Process) embedded() (jump [][]expEntry, sojourn []float64, err error) {
 			for _, e := range outs[i] {
 				jump[i] = append(jump[i], expEntry{from: i, to: e.to, rate: e.rate / lam})
 			}
-		case lam == 0:
+		case lam == 0: //numvet:allow float-eq exactly-zero exit rate leaves only the deterministic jump
 			sojourn[i] = d.delay
 			jump[i] = append(jump[i], expEntry{from: i, to: d.to, rate: 1})
 		default:

@@ -54,7 +54,7 @@ func (s *CTMCPathSimulator) stateAt(rng *rand.Rand, from int, t float64) int {
 	state := from
 	for {
 		total := s.totals[state]
-		if total == 0 {
+		if total == 0 { //numvet:allow float-eq exactly-zero total rate marks an absorbing state
 			return state // absorbing
 		}
 		now += rng.ExpFloat64() / total
@@ -127,7 +127,7 @@ func (s *CTMCPathSimulator) EstimateOccupancy(rng *rand.Rand, initial string, ho
 		for now < horizon {
 			total := s.totals[state]
 			var dwell float64
-			if total == 0 {
+			if total == 0 { //numvet:allow float-eq exactly-zero total rate marks an absorbing state
 				dwell = horizon - now
 			} else {
 				dwell = rng.ExpFloat64() / total
@@ -139,7 +139,7 @@ func (s *CTMCPathSimulator) EstimateOccupancy(rng *rand.Rand, initial string, ho
 				inTarget += dwell
 			}
 			now += dwell
-			if now >= horizon || total == 0 {
+			if now >= horizon || total == 0 { //numvet:allow float-eq exactly-zero total rate marks an absorbing state
 				break
 			}
 			u := rng.Float64() * total
@@ -181,7 +181,7 @@ func (s *CTMCPathSimulator) EstimateMTTA(rng *rand.Rand, initial string, absorbi
 		state := from
 		for !target[state] && now < horizon {
 			total := s.totals[state]
-			if total == 0 {
+			if total == 0 { //numvet:allow float-eq exactly-zero total rate marks an absorbing state
 				break
 			}
 			now += rng.ExpFloat64() / total

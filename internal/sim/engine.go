@@ -27,7 +27,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
+	if h[i].time != h[j].time { //numvet:allow float-eq heap tie-break on exact equality is intentional
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq

@@ -50,7 +50,7 @@ func (s *CTMCPathSimulator) EstimateSteadyStateOccupancy(rng *rand.Rand, initial
 	if opts.Warmup < 0 {
 		return CI{}, fmt.Errorf("sim: warmup %g negative", opts.Warmup)
 	}
-	if opts.Level == 0 {
+	if opts.Level == 0 { //numvet:allow float-eq zero means unset; option-default sentinel
 		opts.Level = 0.95
 	}
 
@@ -89,7 +89,7 @@ func (s *CTMCPathSimulator) EstimateSteadyStateOccupancy(rng *rand.Rand, initial
 	for now < horizon {
 		total := s.totals[state]
 		var dwell float64
-		if total == 0 {
+		if total == 0 { //numvet:allow float-eq exactly-zero total rate marks an absorbing state
 			dwell = horizon - now
 		} else {
 			dwell = rng.ExpFloat64() / total
@@ -99,7 +99,7 @@ func (s *CTMCPathSimulator) EstimateSteadyStateOccupancy(rng *rand.Rand, initial
 			dwellEnd = horizon
 		}
 		flushThrough(horizon, dwellEnd)
-		if now >= horizon || total == 0 {
+		if now >= horizon || total == 0 { //numvet:allow float-eq exactly-zero total rate marks an absorbing state
 			break
 		}
 		u := rng.Float64() * total

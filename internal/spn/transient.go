@@ -128,7 +128,7 @@ func (tc *TangibleChain) ReliabilityAt(t float64, failCond func(Marking) bool) (
 	// initial state, weighting by p0.
 	var total float64
 	for i, p := range p0 {
-		if p == 0 {
+		if p == 0 { //numvet:allow float-eq skipping exact zeros is a sparsity optimization
 			continue
 		}
 		r, err := tc.Chain.ReliabilityAt(t, stateName(tc.Markings[i]), failing...)

@@ -86,7 +86,7 @@ func pearson(x, y []float64) float64 {
 		vx += dx * dx
 		vy += dy * dy
 	}
-	if vx == 0 || vy == 0 {
+	if vx == 0 || vy == 0 { //numvet:allow float-eq exactly-zero variance makes the correlation undefined
 		return 0
 	}
 	return cov / math.Sqrt(vx*vy)
@@ -102,7 +102,7 @@ func ranks(v []float64) []float64 {
 	out := make([]float64, len(v))
 	for pos := 0; pos < len(idx); {
 		end := pos
-		for end+1 < len(idx) && v[idx[end+1]] == v[idx[pos]] {
+		for end+1 < len(idx) && v[idx[end+1]] == v[idx[pos]] { //numvet:allow float-eq rank ties require exact equality
 			end++
 		}
 		avg := float64(pos+end)/2 + 1

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo-wide check pipeline: formatting, vet, build, race-enabled tests,
+# and the numerical-hygiene analyzer over the library packages. CI and
+# pre-commit both run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== numvet"
+go run ./cmd/numvet ./internal/...
+
+echo "all checks passed"
