@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/spn"
 )
 
@@ -34,7 +35,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.ResetTimer()
 	var tbl *core.Table
 	for i := 0; i < b.N; i++ {
-		tbl, err = exp.Run()
+		tbl, err = exp.Run(obs.Nop())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,18 +3,26 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -run E4    # run one experiment
-//	experiments -list      # list experiment IDs and titles
+//	experiments                  # run everything, refresh BENCH_solvers.json
+//	experiments -bench out.json  # write the solver-telemetry records there
+//	experiments -bench ""        # skip the telemetry file
+//	experiments -run E4          # run one experiment
+//	experiments -list            # list experiment IDs and titles
+//
+// When running the full suite, each experiment executes under a solver
+// trace (see internal/obs) and a per-experiment summary — dominant
+// solver, iteration count, wall time — is serialized to the -bench path.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +37,7 @@ func run(args []string, stdout io.Writer) error {
 	only := fs.String("run", "", "run a single experiment by ID (e.g. E3)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of an aligned table (with -run)")
+	benchPath := fs.String("bench", "BENCH_solvers.json", "write per-experiment solver telemetry to this file when running everything (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +60,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		tbl, err := e.Run()
+		tbl, err := e.Run(obs.Nop())
 		if err != nil {
 			return err
 		}
@@ -63,5 +72,23 @@ func run(args []string, stdout io.Writer) error {
 	if *asCSV {
 		return fmt.Errorf("experiments: -csv requires -run <id>")
 	}
-	return reg.RunAll(stdout)
+	if *benchPath == "" {
+		return reg.RunAll(stdout)
+	}
+	entries, err := experiments.RunAllWithBench(stdout)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*benchPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d experiments)\n", *benchPath, len(entries))
+	return f.Close()
 }

@@ -2,13 +2,23 @@
 //
 // Usage:
 //
-//	relcli -model system.json [-json] [-preflight]
+//	relcli [solve] -model system.json [-json] [-preflight]
+//	relcli solve [-trace] [-trace-json] [-metrics] [-pprof addr] model.json
 //	cat system.json | relcli [-json]
 //	relcli lint [-json] model.json [model.json ...]
 //
 // The input format is documented in internal/modelio and README.md; it
 // covers reliability block diagrams, fault trees, CTMCs, reliability
 // graphs, and stochastic Petri nets with per-model measure selection.
+//
+// The optional solve subcommand is the default action spelled out; it
+// additionally accepts the model path as a positional argument. The
+// observability flags hang off it: -trace prints an indented solver span
+// tree to stderr, -trace-json replaces the stdout report with a JSON
+// document {"results": …, "trace": …} carrying the nested spans and
+// per-iteration residuals, -metrics prints a one-line trace summary to
+// stderr, and -pprof addr serves net/http/pprof and expvar for the
+// duration of the solve.
 //
 // The lint subcommand statically checks model documents without solving
 // them, printing one diagnostic per line; it exits nonzero when any
@@ -22,10 +32,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/lint"
 	"repro/internal/modelio"
+	"repro/internal/obs"
 )
+
+// stderr is the diagnostic stream; a variable so tests can capture it.
+var stderr io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -38,13 +53,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "lint" {
 		return runLint(args[1:], stdin, stdout)
 	}
+	if len(args) > 0 && args[0] == "solve" {
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet("relcli", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the JSON model (default: stdin)")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of text")
 	asDOT := fs.Bool("dot", false, "emit the model structure as Graphviz DOT (ctmc/spn)")
 	preflight := fs.Bool("preflight", false, "lint the model and refuse to solve on errors")
+	traceText := fs.Bool("trace", false, "print the solver span tree to stderr")
+	traceJSON := fs.Bool("trace-json", false, "emit {results, trace} as JSON on stdout")
+	metrics := fs.Bool("metrics", false, "print a one-line trace summary to stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address while solving")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *modelPath == "" && fs.NArg() > 0 {
+		*modelPath = fs.Arg(0)
 	}
 	in := stdin
 	if *modelPath != "" {
@@ -62,9 +87,50 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *asDOT {
 		return modelio.WriteDOT(spec, stdout)
 	}
-	results, err := modelio.SolveWithOptions(spec, modelio.SolveOptions{Preflight: *preflight})
+	if *pprofAddr != "" {
+		srv, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "relcli: pprof/expvar at http://%s/debug/pprof/\n", srv.Addr)
+	}
+	opts := modelio.SolveOptions{Preflight: *preflight}
+	var tr *obs.Trace
+	if *traceText || *traceJSON || *metrics {
+		rootName := spec.Name
+		if rootName == "" {
+			rootName = "solve"
+		}
+		tr = obs.NewTrace(rootName)
+		opts.Recorder = tr
+	}
+	results, err := modelio.SolveWithOptions(spec, opts)
+	if tr != nil {
+		// Emit whatever was traced even when the solve failed — the partial
+		// trace is exactly what diagnoses a non-converging solver.
+		if *traceText {
+			if werr := tr.WriteText(stderr); werr != nil {
+				return werr
+			}
+		}
+		if *metrics {
+			s := tr.Summary()
+			fmt.Fprintf(stderr, "relcli: spans=%d iterations=%d wall=%s solver=%s\n",
+				s.Spans, s.Iterations, time.Duration(s.WallNS), s.Solver)
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if *traceJSON {
+		doc := struct {
+			Results []modelio.Result `json:"results"`
+			Trace   *obs.Span        `json:"trace"`
+		}{Results: results, Trace: tr.Finish()}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)

@@ -34,6 +34,24 @@ type Manager struct {
 	unique map[node]Ref
 	iteC   map[[3]Ref]Ref
 	nvars  int
+
+	iteHits, iteMisses int64
+}
+
+// Stats reports manager-level telemetry: live node count and ITE
+// operation-cache behavior. The counters are cheap enough to maintain
+// unconditionally.
+type Stats struct {
+	// Nodes is the number of live nodes including the two terminals.
+	Nodes int `json:"nodes"`
+	// ITEHits and ITEMisses count operation-cache lookups in ITE.
+	ITEHits   int64 `json:"ite_hits"`
+	ITEMisses int64 `json:"ite_misses"`
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{Nodes: len(m.nodes), ITEHits: m.iteHits, ITEMisses: m.iteMisses}
 }
 
 // New returns a manager for nvars Boolean variables, ordered by index.
@@ -98,8 +116,10 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	}
 	key := [3]Ref{f, g, h}
 	if r, ok := m.iteC[key]; ok {
+		m.iteHits++
 		return r
 	}
+	m.iteMisses++
 	// Split on the top variable.
 	lv := m.level(f)
 	if l := m.level(g); l < lv {

@@ -13,6 +13,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Table is one experiment's tabular output (a paper table or the data
@@ -132,8 +134,9 @@ type Experiment struct {
 	ID string
 	// Title is a one-line description.
 	Title string
-	// Run regenerates the table.
-	Run func() (*Table, error)
+	// Run regenerates the table, reporting solver telemetry to the
+	// recorder (pass obs.Nop() to run quietly).
+	Run func(obs.Recorder) (*Table, error)
 }
 
 // Registry is an ordered experiment collection.
@@ -181,7 +184,7 @@ func (r *Registry) Get(id string) (Experiment, error) {
 // returning the first error.
 func (r *Registry) RunAll(w io.Writer) error {
 	for _, id := range r.ids {
-		tbl, err := r.byID[id].Run()
+		tbl, err := r.byID[id].Run(obs.Nop())
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}

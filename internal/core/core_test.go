@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestTableAddRowAndPrint(t *testing.T) {
@@ -36,7 +38,7 @@ func TestTableAddRowAndPrint(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	mk := func(id string) Experiment {
-		return Experiment{ID: id, Title: id, Run: func() (*Table, error) {
+		return Experiment{ID: id, Title: id, Run: func(obs.Recorder) (*Table, error) {
 			tbl := &Table{ID: id, Title: id, Columns: []string{"v"}}
 			_ = tbl.AddRow("1")
 			return tbl, nil

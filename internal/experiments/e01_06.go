@@ -11,6 +11,7 @@ import (
 	"repro/internal/faulttree"
 	"repro/internal/hier"
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/rbd"
 	"repro/internal/spn"
 )
@@ -50,7 +51,7 @@ func seriesOfParallelPairs(n int, lam, mu float64) (*rbd.Model, error) {
 // E1RBDScaling sweeps the component count and reports availability, BDD
 // size, and solve time. Expected shape: time and size grow linearly with n
 // while a 2^n-state Markov model would be hopeless beyond ~20 components.
-func E1RBDScaling() (*core.Table, error) {
+func E1RBDScaling(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E1",
 		Title:   "Series-of-parallel-pairs RBD: availability and cost vs component count",
@@ -59,6 +60,7 @@ func E1RBDScaling() (*core.Table, error) {
 	}
 	lam, mu := 1e-3, 0.1
 	for _, n := range []int{10, 50, 100, 200, 400} {
+		sp := rec.Span("n="+itoa(n), obs.S("solver", "bdd"))
 		m, err := seriesOfParallelPairs(n, lam, mu)
 		if err != nil {
 			return nil, err
@@ -75,6 +77,8 @@ func E1RBDScaling() (*core.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp.Set(obs.I("bdd_nodes", m.BDDSize()))
+		sp.End()
 		if err := t.AddRow(itoa(n), itoa(m.BDDSize()), f64(avail), f64(mttf), ms(dur)); err != nil {
 			return nil, err
 		}
@@ -84,7 +88,7 @@ func E1RBDScaling() (*core.Table, error) {
 
 // E2FaultTree compares the BDD solution with MOCUS enumeration on trees
 // with repeated events and a voting gate.
-func E2FaultTree() (*core.Table, error) {
+func E2FaultTree(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E2",
 		Title:   "Fault tree with repeated events: BDD exact vs MOCUS cut sets vs rare-event bound",
@@ -92,6 +96,7 @@ func E2FaultTree() (*core.Table, error) {
 		Notes:   "rare-event bound ≥ exact; both cut-set extractions agree (asserted in tests)",
 	}
 	for _, pairs := range []int{5, 20, 60, 120} {
+		sp := rec.Span("pairs="+itoa(pairs), obs.S("solver", "bdd"))
 		shared := &faulttree.Event{Name: "psu", Prob: 1e-4} // repeated event
 		gates := make([]*faulttree.Node, 0, pairs+1)
 		for i := 0; i < pairs; i++ {
@@ -129,6 +134,9 @@ func E2FaultTree() (*core.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		st := tree.BDDStats()
+		sp.Set(obs.I("bdd_nodes", st.Nodes), obs.I("mincuts", nCuts))
+		sp.End()
 		if err := t.AddRow(itoa(pairs), itoa(len(tree.Events())), itoa(nCuts),
 			f64(top), f64(bound), ms(bddDur), ms(mocusDur)); err != nil {
 			return nil, err
@@ -176,7 +184,7 @@ func sharedRepairChain(n int, lam, mu float64) (*markov.CTMC, []string, error) {
 // E3StateSpace demonstrates state-space explosion: the shared-repair CTMC
 // over n distinct components has 2^n states, and solve time grows
 // accordingly, in contrast to E1's linear growth.
-func E3StateSpace() (*core.Table, error) {
+func E3StateSpace(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E3",
 		Title:   "Shared-repair CTMC: states, transitions, and solve time vs components",
@@ -189,15 +197,17 @@ func E3StateSpace() (*core.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := rec.Span("n=" + itoa(n))
 		var pAllUp float64
 		dur, err := timed(func() error {
-			pi, err := c.SteadyStateMap()
+			pi, err := c.SteadyStateMapWithOptions(markov.SteadyStateOptions{Recorder: sp})
 			if err != nil {
 				return err
 			}
 			pAllUp = pi["m0"]
 			return nil
 		})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +222,7 @@ func E3StateSpace() (*core.Table, error) {
 // level: the kept-cut exact value is a certified lower bound, adding the
 // discarded rare-event mass a certified upper bound, and the bracket
 // tightens monotonically.
-func E4Bounds() (*core.Table, error) {
+func E4Bounds(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E4",
 		Title:   "Truncated cut-set bounds on a wide fault tree (1275 cut sets)",
@@ -233,6 +243,7 @@ func E4Bounds() (*core.Table, error) {
 		}
 	}
 	cs := &bounds.CutSystem{Cuts: cuts, FailP: failP}
+	rec.Set(obs.S("solver", "cutset-bounds"), obs.I("cuts", len(cuts)))
 	exact, err := cs.Exact()
 	if err != nil {
 		return nil, err
@@ -257,7 +268,7 @@ func E4Bounds() (*core.Table, error) {
 // E5SharedRepair quantifies the independence assumption: an RBD with
 // per-component repair is optimistic relative to the exact shared-repair
 // CTMC, increasingly so as the repair facility saturates.
-func E5SharedRepair() (*core.Table, error) {
+func E5SharedRepair(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E5",
 		Title:   "Two-component parallel system: independent-repair RBD vs shared-repair CTMC",
@@ -298,7 +309,7 @@ func E5SharedRepair() (*core.Table, error) {
 		if err := c.AddRate("0", "1", mu); err != nil {
 			return nil, err
 		}
-		pi, err := c.SteadyStateMap()
+		pi, err := c.SteadyStateMapWithOptions(markov.SteadyStateOptions{Recorder: rec.Span("ratio=" + f64(ratio))})
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +329,7 @@ func E5SharedRepair() (*core.Table, error) {
 // duplex subsystems against the hierarchical composition (one small Markov
 // submodel per subsystem feeding a series RBD): identical availability at a
 // tiny fraction of the state count.
-func E6FixedPoint() (*core.Table, error) {
+func E6FixedPoint(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E6",
 		Title:   "Hierarchy vs monolith: k duplex subsystems in series",
@@ -427,7 +438,7 @@ func E6FixedPoint() (*core.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := compn.Solve(nil, hier.Options{})
+		res, err := compn.Solve(nil, hier.Options{Recorder: rec.Span("k=" + itoa(k))})
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/markov"
 	"repro/internal/mrgp"
+	"repro/internal/obs"
 	"repro/internal/phfit"
 	"repro/internal/relgraph"
 	"repro/internal/sim"
@@ -37,7 +38,7 @@ func duplexChain(lam, mu float64) (*markov.CTMC, error) {
 // E7Transient computes the duplex system's point availability A(t) by
 // uniformization and checks each value against a simulation confidence
 // interval.
-func E7Transient() (*core.Table, error) {
+func E7Transient(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E7",
 		Title:   "Duplex transient availability: uniformization vs simulation (99% CI)",
@@ -59,7 +60,8 @@ func E7Transient() (*core.Table, error) {
 	}
 	rng := rand.New(rand.NewSource(2024))
 	for _, tt := range []float64{0.5, 2, 5, 10, 50} {
-		p, err := c.Transient(tt, p0, markov.TransientOptions{})
+		sp := rec.Span("t=" + f64(tt))
+		p, err := c.Transient(tt, p0, markov.TransientOptions{Recorder: sp})
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +77,7 @@ func E7Transient() (*core.Table, error) {
 		if !ci.Contains(a) {
 			inside = "NO"
 		}
+		sp.End()
 		if err := t.AddRow(f64(tt), f64p(a, 6), f64p(ci.Lo, 6), f64p(ci.Hi, 6), inside); err != nil {
 			return nil, err
 		}
@@ -85,7 +88,7 @@ func E7Transient() (*core.Table, error) {
 // E8PhaseType measures how the Erlang-k expansion of a deterministic-ish
 // Weibull lifetime converges: the sup-norm error of the PH reliability
 // curve against the exact Weibull R(t) shrinks as phases are added.
-func E8PhaseType() (*core.Table, error) {
+func E8PhaseType(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E8",
 		Title:   "Phase-type expansion of a Weibull(2) lifetime: CDF sup-error vs phases",
@@ -96,6 +99,7 @@ func E8PhaseType() (*core.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec.Set(obs.S("solver", "phase-type"))
 	grid := make([]float64, 0, 60)
 	for i := 1; i <= 60; i++ {
 		grid = append(grid, float64(i)*5) // 5..300 covers the CDF body
@@ -134,7 +138,7 @@ func E8PhaseType() (*core.Table, error) {
 
 // E9Uncertainty propagates lognormal uncertainty in the duplex failure rate
 // into the steady-state availability and reports percentile intervals.
-func E9Uncertainty() (*core.Table, error) {
+func E9Uncertainty(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E9",
 		Title:   "Duplex availability under lognormal failure-rate uncertainty (LHS, n=3000)",
@@ -142,6 +146,7 @@ func E9Uncertainty() (*core.Table, error) {
 		Notes:   "interval width shrinks with parameter uncertainty; nominal availability lies inside every interval",
 	}
 	nominalLam, mu := 0.01, 1.0
+	rec.Set(obs.S("solver", "gth"), obs.I("samples_per_cv", 3000))
 	model := func(p map[string]float64) (float64, error) {
 		c, err := duplexChain(p["lambda"], mu)
 		if err != nil {
@@ -197,7 +202,7 @@ func E9Uncertainty() (*core.Table, error) {
 // E10SPN sweeps the coverage factor of an imperfect-coverage model built as
 // a GSPN (with immediate transitions) and as a hand-built CTMC, reporting
 // both availabilities and their difference (which must vanish).
-func E10SPN() (*core.Table, error) {
+func E10SPN(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E10",
 		Title:   "Imperfect-coverage model: GSPN-generated CTMC vs hand-built chain",
@@ -205,6 +210,7 @@ func E10SPN() (*core.Table, error) {
 		Notes:   "vanishing markings are eliminated exactly; both formulations agree to solver precision",
 	}
 	lam, muD, muF := 0.02, 2.0, 0.2
+	rec.Set(obs.S("solver", "spn-ctmc"))
 	for _, cov := range []float64{0.5, 0.9, 0.99, 0.999} {
 		net, err := coverageNet(lam, muD, muF, cov)
 		if err != nil {
@@ -268,13 +274,14 @@ func E10SPN() (*core.Table, error) {
 // admit failures — hence the interior optimum. With an exponential (
 // memoryless) lifetime no such optimum exists, which is exactly why the
 // tutorial needs MRGPs here.
-func E11Rejuvenation() (*core.Table, error) {
+func E11Rejuvenation(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E11",
 		Title:   "Software rejuvenation MRGP: unavailability vs rejuvenation interval",
 		Columns: []string{"interval", "P_failed(unplanned)", "P_rejuv(planned)", "total_unavail"},
 		Notes:   "short intervals waste planned downtime, long intervals admit failures; the optimum is interior",
 	}
+	rec.Set(obs.S("solver", "mrgp-edtmc"))
 	lamD, lamF := 0.1, 0.05 // degradation and failure rates (aging lifetime)
 	muF, muR := 0.1, 2.0    // failures repair 20x slower than rejuvenation
 	// Baseline without rejuvenation: robust → degraded → failed → robust.
@@ -330,7 +337,7 @@ func E11Rejuvenation() (*core.Table, error) {
 // E12RelGraph solves the bridge network and growing ladder networks by
 // factoring, cross-checks against the BDD oracle, and shows the rare-event
 // cut approximation alongside.
-func E12RelGraph() (*core.Table, error) {
+func E12RelGraph(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E12",
 		Title:   "Network reliability: factoring vs BDD vs cut-based rare-event approximation",
@@ -338,6 +345,8 @@ func E12RelGraph() (*core.Table, error) {
 		Notes:   "factoring equals the BDD oracle; rare-event approximation of unreliability is an upper bound",
 	}
 	addNetwork := func(name string, g *relgraph.Graph, src, dst string) error {
+		sp := rec.Span(name, obs.S("solver", "factoring"), obs.I("edges", len(g.Edges())))
+		defer sp.End()
 		var rf float64
 		dur, err := timed(func() error {
 			var err error

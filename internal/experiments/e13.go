@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/obs"
 )
 
 // E13Lumping is the extension experiment for largeness *avoidance*: the
@@ -15,7 +16,7 @@ import (
 // to the (n+1)-state count chain. The table reports both state counts,
 // both availabilities (identical), and both solve times — the counterpart
 // of E3, which shows what happens when symmetry is absent.
-func E13Lumping() (*core.Table, error) {
+func E13Lumping(rec obs.Recorder) (*core.Table, error) {
 	t := &core.Table{
 		ID:      "E13",
 		Title:   "Largeness avoidance: exact lumping of identical components (extension)",
@@ -32,9 +33,10 @@ func E13Lumping() (*core.Table, error) {
 			mask, _ := strconv.Atoi(strings.TrimPrefix(state, "m"))
 			return "k" + strconv.Itoa(bits.OnesCount(uint(mask)))
 		}
+		sp := rec.Span("n=" + itoa(n))
 		var aDet float64
 		detDur, err := timed(func() error {
-			pi, err := detailed.SteadyState()
+			pi, err := detailed.SteadyStateWithOptions(markov.SteadyStateOptions{Recorder: sp})
 			if err != nil {
 				return err
 			}
@@ -70,6 +72,7 @@ func E13Lumping() (*core.Table, error) {
 		if diff := aDet - aLum; diff > 1e-10 || diff < -1e-10 {
 			return nil, fmt.Errorf("E13: lumped %g vs detailed %g", aLum, aDet)
 		}
+		sp.End()
 		if err := t.AddRow(itoa(n), itoa(detailed.NumStates()), itoa(lumped.NumStates()),
 			f64(aDet), f64(aLum), ms(detDur), ms(lumDur)); err != nil {
 			return nil, err

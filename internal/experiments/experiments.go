@@ -12,10 +12,12 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Registry returns all experiments in order.
@@ -35,6 +37,58 @@ func Registry() (*core.Registry, error) {
 		core.Experiment{ID: "E12", Title: "Reliability graphs: factoring vs BDD vs rare-event approximation", Run: E12RelGraph},
 		core.Experiment{ID: "E13", Title: "Largeness avoidance: exact lumping of identical components (extension)", Run: E13Lumping},
 	)
+}
+
+// BenchEntry is one experiment's solver-telemetry record, serialized to
+// BENCH_solvers.json by cmd/experiments.
+type BenchEntry struct {
+	// ID is the experiment identifier ("E1".."E13").
+	ID string `json:"id"`
+	// Title is the experiment's one-line description.
+	Title string `json:"title"`
+	// Solver names the dominant solver observed in the trace (the span
+	// that recorded the most iterations; see obs.Summary).
+	Solver string `json:"solver,omitempty"`
+	// Spans is the trace's total span count.
+	Spans int `json:"spans"`
+	// Iterations sums every recorded solver iteration across the run.
+	Iterations int `json:"iterations"`
+	// WallMS is the experiment's wall time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// RunAllWithBench executes every experiment under a fresh trace, writing
+// each table to w and returning one telemetry record per experiment.
+func RunAllWithBench(w io.Writer) ([]BenchEntry, error) {
+	reg, err := Registry()
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]BenchEntry, 0, len(reg.IDs()))
+	for _, id := range reg.IDs() {
+		e, err := reg.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		tr := obs.NewTrace(id)
+		tbl, err := e.Run(tr)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if err := tbl.Fprint(w); err != nil {
+			return nil, err
+		}
+		s := tr.Summary()
+		entries = append(entries, BenchEntry{
+			ID:         id,
+			Title:      e.Title,
+			Solver:     s.Solver,
+			Spans:      s.Spans,
+			Iterations: s.Iterations,
+			WallMS:     float64(s.WallNS) / 1e6,
+		})
+	}
+	return entries, nil
 }
 
 // --- small formatting helpers shared by the experiment files ---

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func parse(t *testing.T, s string) float64 {
@@ -44,7 +45,7 @@ func runExp(t *testing.T, id string) *core.Table {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := e.Run()
+	tbl, err := e.Run(obs.Nop())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -196,6 +196,10 @@ func (t *Tree) Coherent() bool { return t.coherent }
 // BDDSize returns the node count of the top-event BDD.
 func (t *Tree) BDDSize() int { return t.mgr.NodeCount(t.top) }
 
+// BDDStats returns the underlying BDD manager's node and ITE-cache
+// counters (for solver telemetry).
+func (t *Tree) BDDStats() bdd.Stats { return t.mgr.Stats() }
+
 // TopProbability returns the exact top-event probability given event
 // probabilities from probOf.
 func (t *Tree) TopProbability(probOf func(*Event) float64) (float64, error) {

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Submodel is one level of a hierarchical model. Solve consumes the current
@@ -66,6 +68,10 @@ type Options struct {
 	// Damping in (0,1] blends successive iterates: x ← (1-d)·x + d·x_new.
 	// 1 (default) is undamped.
 	Damping float64
+	// Recorder receives fixed-point telemetry: one record per sweep with
+	// the max variable delta and the submodel that produced it (nil
+	// disables).
+	Recorder obs.Recorder
 }
 
 // Result reports a composition solution.
@@ -78,8 +84,34 @@ type Result struct {
 	Residual float64
 }
 
-// ErrNoConvergence is returned when the fixed point is not reached.
+// ErrNoConvergence is the sentinel matched by errors.Is when the fixed
+// point is not reached. The concrete error returned by Solve is a
+// *NoConvergenceError carrying the iteration count and last delta.
 var ErrNoConvergence = errors.New("hier: fixed-point iteration did not converge")
+
+// NoConvergenceError reports a fixed-point iteration that exhausted its
+// sweep budget. It wraps ErrNoConvergence, so errors.Is(err,
+// ErrNoConvergence) keeps working while errors.As exposes the diagnostics.
+type NoConvergenceError struct {
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// LastDelta is the max absolute variable change of the final sweep.
+	LastDelta float64
+	// Dominant names the submodel whose output produced LastDelta.
+	Dominant string
+}
+
+// Error implements error.
+func (e *NoConvergenceError) Error() string {
+	msg := fmt.Sprintf("%v after %d sweeps (last delta %g", ErrNoConvergence, e.Iterations, e.LastDelta)
+	if e.Dominant != "" {
+		msg += fmt.Sprintf(", dominated by %q", e.Dominant)
+	}
+	return msg + ")"
+}
+
+// Unwrap links the typed error to the ErrNoConvergence sentinel.
+func (e *NoConvergenceError) Unwrap() error { return ErrNoConvergence }
 
 // Composition is an ordered list of submodels solved in sweeps.
 type Composition struct {
@@ -119,13 +151,23 @@ func (c *Composition) Solve(initial map[string]float64, opts Options) (*Result, 
 	if opts.Damping <= 0 || opts.Damping > 1 {
 		opts.Damping = 1
 	}
+	rec := obs.Or(opts.Recorder)
+	tracing := rec.Enabled()
+	if tracing {
+		rec = rec.Span("hier.fixedpoint",
+			obs.S("solver", "fixed-point"), obs.I("submodels", len(c.models)),
+			obs.F("tol", opts.Tol), obs.F("damping", opts.Damping))
+		defer rec.End()
+	}
 	vars := make(map[string]float64, len(initial))
 	for k, v := range initial {
 		vars[k] = v
 	}
 	var residual float64
+	var dominant string
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		residual = 0
+		dominant = ""
 		for _, m := range c.models {
 			in := make(map[string]float64, len(m.Inputs()))
 			for _, name := range m.Inputs() {
@@ -154,18 +196,30 @@ func (c *Composition) Solve(initial map[string]float64, opts Options) (*Result, 
 					nv = old + opts.Damping*(nv-old)
 					if d := math.Abs(nv - old); d > residual {
 						residual = d
+						dominant = m.Name()
 					}
 				} else {
 					// A newly defined variable forces one more sweep.
 					residual = math.Inf(1)
+					dominant = m.Name()
 				}
 				vars[name] = nv
 			}
 		}
+		if tracing {
+			rec.IterLabel(iter, residual, dominant)
+		}
 		if residual < opts.Tol {
+			if tracing {
+				rec.Set(obs.I("iterations", iter), obs.F("final_delta", residual))
+			}
 			return &Result{Vars: vars, Iterations: iter, Residual: residual}, nil
 		}
 	}
+	if tracing {
+		rec.Set(obs.I("iterations", opts.MaxIter), obs.F("final_delta", residual),
+			obs.S("outcome", "no-convergence"))
+	}
 	return &Result{Vars: vars, Iterations: opts.MaxIter, Residual: residual},
-		fmt.Errorf("%w after %d sweeps (residual %g)", ErrNoConvergence, opts.MaxIter, residual)
+		&NoConvergenceError{Iterations: opts.MaxIter, LastDelta: residual, Dominant: dominant}
 }

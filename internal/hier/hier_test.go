@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/markov"
+	"repro/internal/obs"
 )
 
 func TestAcyclicComposition(t *testing.T) {
@@ -233,5 +234,76 @@ func TestCompositionErrors(t *testing.T) {
 	comp3, _ := NewComposition(nan)
 	if _, err := comp3.Solve(nil, Options{}); err == nil {
 		t.Error("NaN output accepted")
+	}
+}
+
+func TestNoConvergenceErrorCarriesDiagnostics(t *testing.T) {
+	m := FuncModel{
+		ModelName: "flip",
+		In:        []string{"x"},
+		Out:       []string{"x"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"x": 1 - in["x"]}, nil
+		},
+	}
+	comp, err := NewComposition(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = comp.Solve(map[string]float64{"x": 0.2}, Options{MaxIter: 7})
+	var nc *NoConvergenceError
+	if !errors.As(err, &nc) {
+		t.Fatalf("want *NoConvergenceError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Error("typed error must still match the ErrNoConvergence sentinel")
+	}
+	if nc.Iterations != 7 {
+		t.Errorf("Iterations = %d, want 7", nc.Iterations)
+	}
+	// x oscillates between 0.2 and 0.8: every sweep moves it by 0.6.
+	if math.Abs(nc.LastDelta-0.6) > 1e-12 {
+		t.Errorf("LastDelta = %g, want 0.6", nc.LastDelta)
+	}
+	if nc.Dominant != "flip" {
+		t.Errorf("Dominant = %q, want flip", nc.Dominant)
+	}
+}
+
+func TestFixedPointTelemetry(t *testing.T) {
+	// Contraction x ← 0.5·x + 0.25 converges to 0.5 linearly, so the
+	// per-sweep deltas halve each sweep.
+	m := FuncModel{
+		ModelName: "contract",
+		In:        []string{"x"},
+		Out:       []string{"x"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"x": 0.5*in["x"] + 0.25}, nil
+		},
+	}
+	comp, err := NewComposition(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("test")
+	res, err := comp.Solve(map[string]float64{"x": 0}, Options{Tol: 1e-10, Recorder: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Finish()
+	if len(root.Children) != 1 || root.Children[0].Name != "hier.fixedpoint" {
+		t.Fatalf("missing hier.fixedpoint span: %+v", root.Children)
+	}
+	sp := root.Children[0]
+	if len(sp.Iters) != res.Iterations {
+		t.Fatalf("recorded %d sweeps, result says %d", len(sp.Iters), res.Iterations)
+	}
+	for i, p := range sp.Iters {
+		if p.Label != "contract" {
+			t.Errorf("sweep %d dominant label = %q", i+1, p.Label)
+		}
+		if i > 0 && p.Residual > sp.Iters[i-1].Residual {
+			t.Errorf("sweep deltas not decreasing: %g then %g", sp.Iters[i-1].Residual, p.Residual)
+		}
 	}
 }

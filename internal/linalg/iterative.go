@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // SOROptions controls the stationary-vector SOR/Gauss–Seidel iteration.
@@ -15,11 +17,31 @@ type SOROptions struct {
 	MaxIter int
 	// X0 optionally seeds the iteration; it is copied, not mutated.
 	X0 []float64
+	// Recorder receives per-sweep convergence telemetry (nil disables).
+	Recorder obs.Recorder
 }
 
 // DefaultSOROptions returns the options used when a zero value is supplied.
 func DefaultSOROptions() SOROptions {
 	return SOROptions{Omega: 1.0, Tol: 1e-12, MaxIter: 100000}
+}
+
+// PowerOptions controls PowerIteration. The zero value selects the
+// defaults that were previously hard-coded, so existing results are
+// unchanged.
+type PowerOptions struct {
+	// Tol is the convergence tolerance on the L∞ change per step.
+	Tol float64
+	// MaxIter bounds the number of steps.
+	MaxIter int
+	// Recorder receives per-step convergence telemetry (nil disables).
+	Recorder obs.Recorder
+}
+
+// DefaultPowerOptions returns the options used when a zero value is
+// supplied.
+func DefaultPowerOptions() PowerOptions {
+	return PowerOptions{Tol: 1e-13, MaxIter: 200000}
 }
 
 // ErrNoConvergence is returned when an iterative method exhausts MaxIter.
@@ -60,6 +82,14 @@ func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
 	if opts.Omega <= 0 || opts.Omega >= 2 {
 		return nil, 0, fmt.Errorf("sor: omega %g outside (0,2)", opts.Omega)
 	}
+	rec := obs.Or(opts.Recorder)
+	tracing := rec.Enabled()
+	if tracing {
+		rec = rec.Span("linalg.sor",
+			obs.S("solver", "sor"), obs.I("states", n),
+			obs.F("omega", opts.Omega), obs.F("tol", opts.Tol))
+		defer rec.End()
+	}
 
 	qt := q.Transpose() // row j of qt holds incoming rates q(i,j) plus q(j,j)
 	diag := make([]float64, n)
@@ -94,6 +124,7 @@ func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
 		}
 	}
 
+	var prevDelta float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		var maxDelta float64
 		for j := 0; j < n; j++ {
@@ -116,11 +147,33 @@ func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
 		if err := Normalize1(pi); err != nil {
 			return nil, iter, fmt.Errorf("sor: %w", err)
 		}
+		if tracing {
+			rec.Iter(iter, maxDelta)
+		}
 		if maxDelta < opts.Tol {
+			if tracing {
+				rec.Set(obs.I("iterations", iter),
+					obs.F("spectral_radius_est", ratioOrNaN(maxDelta, prevDelta)))
+			}
 			return pi, iter, nil
 		}
+		prevDelta = maxDelta
 	}
-	return pi, opts.MaxIter, &ErrNoConvergence{Iter: opts.MaxIter, Residual: residualSteadyState(q, pi)}
+	resid := residualSteadyState(q, pi)
+	if tracing {
+		rec.Set(obs.I("iterations", opts.MaxIter), obs.F("final_residual", resid))
+	}
+	return pi, opts.MaxIter, &ErrNoConvergence{Iter: opts.MaxIter, Residual: resid}
+}
+
+// ratioOrNaN estimates the iteration-matrix spectral radius from the last
+// two sweep deltas: for a linearly converging stationary iteration the
+// delta ratio approaches the dominant subdominant eigenvalue magnitude.
+func ratioOrNaN(last, prev float64) float64 {
+	if prev <= 0 || math.IsNaN(prev) || math.IsNaN(last) {
+		return math.NaN()
+	}
+	return last / prev
 }
 
 // residualSteadyState returns ‖π·Q‖∞ as a convergence diagnostic.
@@ -134,8 +187,17 @@ func residualSteadyState(q *CSR, pi []float64) float64 {
 
 // PowerIteration computes the stationary distribution of an irreducible,
 // aperiodic DTMC with transition matrix P (rows sum to 1) by repeated
-// multiplication π ← π·P. Returns the vector and iteration count.
+// multiplication π ← π·P. Returns the vector and iteration count. Zero tol
+// and maxIter select the defaults (see DefaultPowerOptions); use
+// PowerIterationOpts for full control and telemetry.
 func PowerIteration(p *CSR, tol float64, maxIter int) ([]float64, int, error) {
+	return PowerIterationOpts(p, PowerOptions{Tol: tol, MaxIter: maxIter})
+}
+
+// PowerIterationOpts is PowerIteration with an options struct: tolerance
+// and iteration budget are configurable, and a Recorder collects per-step
+// convergence records.
+func PowerIterationOpts(p *CSR, opts PowerOptions) ([]float64, int, error) {
 	n := p.Rows()
 	if p.Cols() != n {
 		return nil, 0, fmt.Errorf("power: matrix %dx%d not square: %w", p.Rows(), p.Cols(), ErrDimensionMismatch)
@@ -143,17 +205,26 @@ func PowerIteration(p *CSR, tol float64, maxIter int) ([]float64, int, error) {
 	if n == 0 {
 		return nil, 0, fmt.Errorf("power: empty matrix")
 	}
-	if tol == 0 { //numvet:allow float-eq zero means unset; option-default sentinel
-		tol = 1e-13
+	def := DefaultPowerOptions()
+	if opts.Tol == 0 { //numvet:allow float-eq zero means unset; option-default sentinel
+		opts.Tol = def.Tol
 	}
-	if maxIter == 0 {
-		maxIter = 200000
+	if opts.MaxIter == 0 {
+		opts.MaxIter = def.MaxIter
+	}
+	rec := obs.Or(opts.Recorder)
+	tracing := rec.Enabled()
+	if tracing {
+		rec = rec.Span("linalg.power",
+			obs.S("solver", "power"), obs.I("states", n), obs.F("tol", opts.Tol))
+		defer rec.End()
 	}
 	pi := make([]float64, n)
 	for i := range pi {
 		pi[i] = 1 / float64(n)
 	}
-	for iter := 1; iter <= maxIter; iter++ {
+	var prevDelta float64
+	for iter := 1; iter <= opts.MaxIter; iter++ {
 		next, err := p.VecMul(pi)
 		if err != nil {
 			return nil, iter, err
@@ -163,9 +234,20 @@ func PowerIteration(p *CSR, tol float64, maxIter int) ([]float64, int, error) {
 		}
 		d, _ := MaxAbsDiff(next, pi)
 		copy(pi, next)
-		if d < tol {
+		if tracing {
+			rec.Iter(iter, d)
+		}
+		if d < opts.Tol {
+			if tracing {
+				rec.Set(obs.I("iterations", iter),
+					obs.F("spectral_radius_est", ratioOrNaN(d, prevDelta)))
+			}
 			return pi, iter, nil
 		}
+		prevDelta = d
 	}
-	return pi, maxIter, &ErrNoConvergence{Iter: maxIter}
+	if tracing {
+		rec.Set(obs.I("iterations", opts.MaxIter))
+	}
+	return pi, opts.MaxIter, &ErrNoConvergence{Iter: opts.MaxIter, Residual: prevDelta}
 }

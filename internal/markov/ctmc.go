@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // CTMC is a continuous-time Markov chain under construction or analysis.
@@ -118,22 +119,65 @@ func (c *CTMC) Generator() (*linalg.CSR, error) {
 // dense GTH to sparse SOR.
 const gthThreshold = 600
 
+// SteadyStateOptions tunes the stationary solve.
+type SteadyStateOptions struct {
+	// Method selects the solver: "" or "auto" (GTH up to gthThreshold
+	// states, SOR beyond), "gth", or "sor".
+	Method string
+	// SOR tunes the iterative solver when it is used. Its Recorder field
+	// is overridden by Recorder below.
+	SOR linalg.SOROptions
+	// Recorder receives solver telemetry (nil disables).
+	Recorder obs.Recorder
+}
+
 // SteadyState computes the stationary distribution π of an irreducible
 // chain. Chains up to gthThreshold states use GTH (exact, subtraction-free);
 // larger chains use SOR.
 func (c *CTMC) SteadyState() ([]float64, error) {
+	return c.SteadyStateWithOptions(SteadyStateOptions{})
+}
+
+// SteadyStateWithOptions is SteadyState with solver selection and
+// telemetry.
+func (c *CTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error) {
 	q, err := c.Generator()
 	if err != nil {
 		return nil, err
 	}
-	if q.Rows() <= gthThreshold {
+	method := opts.Method
+	switch method {
+	case "", "auto":
+		if q.Rows() <= gthThreshold {
+			method = "gth"
+		} else {
+			method = "sor"
+		}
+	case "gth", "sor":
+	default:
+		return nil, fmt.Errorf("markov steady state: unknown method %q (want auto, gth, or sor)", opts.Method)
+	}
+	rec := obs.Or(opts.Recorder)
+	if rec.Enabled() {
+		rec = rec.Span("markov.steadystate",
+			obs.I("states", q.Rows()), obs.I("transitions", len(c.trans)),
+			obs.S("method", method))
+		defer rec.End()
+	}
+	if method == "gth" {
+		if rec.Enabled() {
+			sp := rec.Span("linalg.gth", obs.S("solver", "gth"), obs.I("states", q.Rows()))
+			defer sp.End()
+		}
 		pi, err := linalg.GTHCSR(q)
 		if err != nil {
 			return nil, fmt.Errorf("markov steady state: %w", err)
 		}
 		return pi, nil
 	}
-	pi, _, err := linalg.SORSteadyState(q, linalg.SOROptions{})
+	sorOpts := opts.SOR
+	sorOpts.Recorder = rec
+	pi, _, err := linalg.SORSteadyState(q, sorOpts)
 	if err != nil {
 		return nil, fmt.Errorf("markov steady state: %w", err)
 	}
@@ -142,7 +186,13 @@ func (c *CTMC) SteadyState() ([]float64, error) {
 
 // SteadyStateMap returns the stationary distribution keyed by state name.
 func (c *CTMC) SteadyStateMap() (map[string]float64, error) {
-	pi, err := c.SteadyState()
+	return c.SteadyStateMapWithOptions(SteadyStateOptions{})
+}
+
+// SteadyStateMapWithOptions is SteadyStateMap with solver selection and
+// telemetry.
+func (c *CTMC) SteadyStateMapWithOptions(opts SteadyStateOptions) (map[string]float64, error) {
+	pi, err := c.SteadyStateWithOptions(opts)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // DTMC is a discrete-time Markov chain built by naming states and setting
@@ -87,14 +88,42 @@ func (d *DTMC) Matrix() (*linalg.CSR, error) {
 // aperiodic DTMC. Small chains use GTH on P−I (exact); large chains use
 // power iteration.
 func (d *DTMC) SteadyState() ([]float64, error) {
+	return d.SteadyStateWithOptions(SteadyStateOptions{})
+}
+
+// SteadyStateWithOptions is SteadyState with solver selection ("auto",
+// "gth", or "power" for a DTMC) and telemetry.
+func (d *DTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error) {
 	p, err := d.Matrix()
 	if err != nil {
 		return nil, err
 	}
 	n := p.Rows()
-	if n <= gthThreshold {
+	method := opts.Method
+	switch method {
+	case "", "auto":
+		if n <= gthThreshold {
+			method = "gth"
+		} else {
+			method = "power"
+		}
+	case "gth", "power":
+	default:
+		return nil, fmt.Errorf("markov dtmc steady state: unknown method %q (want auto, gth, or power)", opts.Method)
+	}
+	rec := obs.Or(opts.Recorder)
+	if rec.Enabled() {
+		rec = rec.Span("markov.dtmc.steadystate",
+			obs.I("states", n), obs.S("method", method))
+		defer rec.End()
+	}
+	if method == "gth" {
 		// P − I is a valid generator-shaped matrix: nonnegative
 		// off-diagonals and zero row sums, so GTH applies verbatim.
+		if rec.Enabled() {
+			sp := rec.Span("linalg.gth", obs.S("solver", "gth"), obs.I("states", n))
+			defer sp.End()
+		}
 		g := linalg.NewDense(n, n)
 		for i := 0; i < n; i++ {
 			p.RowRange(i, func(col int, val float64) {
@@ -108,7 +137,7 @@ func (d *DTMC) SteadyState() ([]float64, error) {
 		}
 		return pi, nil
 	}
-	pi, _, err := linalg.PowerIteration(p, 0, 0)
+	pi, _, err := linalg.PowerIterationOpts(p, linalg.PowerOptions{Recorder: rec})
 	if err != nil {
 		return nil, fmt.Errorf("markov dtmc steady state: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // TransientOptions tunes the uniformization computation.
@@ -14,6 +15,11 @@ type TransientOptions struct {
 	// SteadyStateDetection stops the power sequence when successive vectors
 	// agree to within Tol, replacing the tail with the converged vector.
 	SteadyStateDetection bool
+	// Recorder receives uniformization telemetry: truncation points,
+	// per-step vector deltas, and early-stop decisions (nil disables).
+	// Recording computes one extra L∞ diff per step when steady-state
+	// detection is off.
+	Recorder obs.Recorder
 }
 
 // Transient computes the state-probability vector p(t) = p0·e^{Qt} by
@@ -53,18 +59,34 @@ func (c *CTMC) Transient(t float64, p0 []float64, opts TransientOptions) ([]floa
 	if err != nil {
 		return nil, err
 	}
+	kmax := left + len(weights) - 1
+	rec := obs.Or(opts.Recorder)
+	tracing := rec.Enabled()
+	if tracing {
+		rec = rec.Span("markov.transient",
+			obs.S("solver", "uniformization"), obs.I("states", len(v)),
+			obs.F("t", t), obs.F("unif_rate", rate), obs.F("tol", opts.Tol),
+			obs.I("poisson_left", left), obs.I("poisson_right", kmax),
+			obs.I("poisson_terms", len(weights)))
+		defer rec.End()
+	}
 	out := make([]float64, len(v))
 	prev := linalg.Clone(v)
 	// Walk k = 0,1,2,...: accumulate weights[k-left]·(p0·P^k).
-	kmax := left + len(weights) - 1
+	steps, earlyStop := 0, false
 	for k := 0; k <= kmax; k++ {
 		if k > 0 {
 			next, err := unif.VecMul(prev)
 			if err != nil {
 				return nil, err
 			}
-			if opts.SteadyStateDetection {
-				if d, _ := linalg.MaxAbsDiff(next, prev); d < opts.Tol {
+			steps = k
+			if opts.SteadyStateDetection || tracing {
+				d, _ := linalg.MaxAbsDiff(next, prev)
+				if tracing {
+					rec.Iter(k, d)
+				}
+				if opts.SteadyStateDetection && d < opts.Tol {
 					// Remaining Poisson mass lands on the converged vector.
 					var remaining float64
 					for j := k - left; j < len(weights); j++ {
@@ -76,6 +98,7 @@ func (c *CTMC) Transient(t float64, p0 []float64, opts TransientOptions) ([]floa
 						return nil, err
 					}
 					prev = next
+					earlyStop = true
 					break
 				}
 			}
@@ -86,6 +109,13 @@ func (c *CTMC) Transient(t float64, p0 []float64, opts TransientOptions) ([]floa
 				return nil, err
 			}
 		}
+	}
+	if tracing {
+		early := 0
+		if earlyStop {
+			early = 1
+		}
+		rec.Set(obs.I("steps", steps), obs.I("early_stop", early))
 	}
 	// Guard against tiny negative round-off and renormalize.
 	for i, x := range out {
@@ -138,11 +168,21 @@ func (c *CTMC) CumulativeTransient(t float64, p0 []float64, opts TransientOption
 	if err != nil {
 		return nil, err
 	}
+	kmax := left + len(weights) - 1
+	rec := obs.Or(opts.Recorder)
+	tracing := rec.Enabled()
+	if tracing {
+		rec = rec.Span("markov.cumtransient",
+			obs.S("solver", "uniformization"), obs.I("states", len(v)),
+			obs.F("t", t), obs.F("unif_rate", rate), obs.F("tol", opts.Tol),
+			obs.I("poisson_left", left), obs.I("poisson_right", kmax),
+			obs.I("poisson_terms", len(weights)))
+		defer rec.End()
+	}
 	// tailMass[k] = 1 - Σ_{j≤k} pois(j); computed from the truncated weights.
 	// Mass below `left` is within tolerance and treated as already summed.
 	prev := linalg.Clone(v)
 	cum := 0.0
-	kmax := left + len(weights) - 1
 	for k := 0; k <= kmax; k++ {
 		if k > 0 {
 			next, err := unif.VecMul(prev)
@@ -157,6 +197,11 @@ func (c *CTMC) CumulativeTransient(t float64, p0 []float64, opts TransientOption
 		tail := 1 - cum
 		if tail < 0 {
 			tail = 0
+		}
+		if tracing && k > 0 {
+			// The Poisson tail is the natural residual: the occupancy mass
+			// still unaccounted for after k powers.
+			rec.Iter(k, tail)
 		}
 		if err := linalg.AXPY(tail/rate, prev, out); err != nil {
 			return nil, err

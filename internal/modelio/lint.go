@@ -162,6 +162,14 @@ func checkCTMCMeasures(spec *CTMCSpec) []lint.Diagnostic {
 			ds = append(ds, measureErr(lint.CodeSpecMeasure, i, "unknown ctmc measure %q", m))
 		}
 	}
+	switch spec.Solver {
+	case "", "auto", "gth", "sor":
+	default:
+		ds = append(ds, lint.Diagnostic{
+			Code: lint.CodeSpecField, Severity: lint.SevError, Path: "ctmc.solver",
+			Msg: fmt.Sprintf("unknown solver %q (want auto, gth, or sor)", spec.Solver),
+		})
+	}
 	return ds
 }
 

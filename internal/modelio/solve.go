@@ -1,14 +1,18 @@
 package modelio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/faulttree"
+	"repro/internal/hier"
+	"repro/internal/linalg"
 	"repro/internal/lint"
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/rbd"
 	"repro/internal/relgraph"
 )
@@ -31,10 +35,39 @@ type SolveOptions struct {
 	// solvers when any error-severity diagnostic is found, returning a
 	// *lint.Error listing them. Warnings never block solving.
 	Preflight bool
+	// Recorder receives solver telemetry as a tree of nested spans (nil
+	// disables; see internal/obs). Attach an *obs.Trace to render the
+	// solve as JSON or an indented text trace.
+	Recorder obs.Recorder
+}
+
+// ErrNoConvergence marks an iterative solver that exhausted its iteration
+// budget, surfaced uniformly through SolveWithOptions regardless of which
+// layer (linalg sweep, hierarchical fixed point) failed to converge. The
+// wrapped chain retains the typed per-layer error (linalg.ErrNoConvergence,
+// hier.NoConvergenceError) for errors.As.
+var ErrNoConvergence = errors.New("modelio: solver did not converge")
+
+// wrapConvergence folds the per-layer typed non-convergence errors into
+// the package-level ErrNoConvergence sentinel, keeping the original chain.
+func wrapConvergence(err error) error {
+	if err == nil {
+		return nil
+	}
+	var lerr *linalg.ErrNoConvergence
+	if errors.As(err, &lerr) {
+		return fmt.Errorf("%w (%d iterations, residual %g): %w", ErrNoConvergence, lerr.Iter, lerr.Residual, err)
+	}
+	var herr *hier.NoConvergenceError
+	if errors.As(err, &herr) {
+		return fmt.Errorf("%w (%d sweeps, last delta %g): %w", ErrNoConvergence, herr.Iterations, herr.LastDelta, err)
+	}
+	return err
 }
 
 // SolveWithOptions evaluates the specification, optionally running the
-// static lint pass first (see SolveOptions.Preflight).
+// static lint pass first (see SolveOptions.Preflight) and recording
+// solver telemetry (see SolveOptions.Recorder).
 func SolveWithOptions(s *Spec, opts SolveOptions) ([]Result, error) {
 	if opts.Preflight {
 		var errs []lint.Diagnostic
@@ -47,28 +80,48 @@ func SolveWithOptions(s *Spec, opts SolveOptions) ([]Result, error) {
 			return nil, &lint.Error{Diags: errs}
 		}
 	}
-	return Solve(s)
+	rec := obs.Or(opts.Recorder)
+	if rec.Enabled() {
+		rec = rec.Span("modelio.solve", obs.S("type", s.Type), obs.S("model", s.Name))
+		defer rec.End()
+	}
+	results, err := solve(s, rec)
+	return results, wrapConvergence(err)
 }
 
 // Solve evaluates every requested measure of the specification.
 func Solve(s *Spec) ([]Result, error) {
+	results, err := solve(s, obs.Nop())
+	return results, wrapConvergence(err)
+}
+
+func solve(s *Spec, rec obs.Recorder) ([]Result, error) {
 	switch s.Type {
 	case "rbd":
-		return solveRBD(s.RBD)
+		return solveRBD(s.RBD, rec)
 	case "faulttree":
-		return solveFaultTree(s.FaultTree)
+		return solveFaultTree(s.FaultTree, rec)
 	case "ctmc":
-		return solveCTMC(s.CTMC)
+		return solveCTMC(s.CTMC, rec)
 	case "relgraph":
-		return solveRelGraph(s.RelGraph)
+		return solveRelGraph(s.RelGraph, rec)
 	case "spn":
-		return solveSPN(s.SPN)
+		return solveSPN(s.SPN, rec)
 	default:
 		return nil, fmt.Errorf("%w: unknown type %q", ErrBadSpec, s.Type)
 	}
 }
 
-func solveRBD(spec *RBDSpec) ([]Result, error) {
+// measureSpan opens one span per requested measure so the trace tree
+// mirrors the model's measure list.
+func measureSpan(rec obs.Recorder, meas string) obs.Recorder {
+	if !rec.Enabled() {
+		return rec
+	}
+	return rec.Span("measure:" + meas)
+}
+
+func solveRBD(spec *RBDSpec, rec obs.Recorder) ([]Result, error) {
 	if spec.Structure == nil {
 		return nil, fmt.Errorf("%w: rbd without structure", ErrBadSpec)
 	}
@@ -99,8 +152,15 @@ func solveRBD(spec *RBDSpec) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rec.Enabled() {
+		st := m.BDDStats()
+		rec.Set(obs.S("solver", "bdd"), obs.I("components", len(spec.Components)),
+			obs.I("bdd_nodes", m.BDDSize()),
+			obs.I64("bdd_ite_hits", st.ITEHits), obs.I64("bdd_ite_misses", st.ITEMisses))
+	}
 	var out []Result
 	for _, meas := range spec.Measures {
+		sp := measureSpan(rec, meas)
 		switch meas {
 		case "availability":
 			v, err := m.SteadyStateAvailability()
@@ -124,7 +184,9 @@ func solveRBD(spec *RBDSpec) ([]Result, error) {
 			}
 			out = append(out, Result{Measure: meas, Value: v})
 		case "mincuts":
-			out = append(out, Result{Measure: meas, Sets: m.MinimalCutSets()})
+			cuts := m.MinimalCutSets()
+			sp.Set(obs.I("mincuts", len(cuts)))
+			out = append(out, Result{Measure: meas, Sets: cuts})
 		case "importance":
 			if spec.Time <= 0 {
 				return nil, fmt.Errorf("%w: importance needs a positive time", ErrBadSpec)
@@ -141,6 +203,7 @@ func solveRBD(spec *RBDSpec) ([]Result, error) {
 		default:
 			return nil, fmt.Errorf("%w: unknown rbd measure %q", ErrBadSpec, meas)
 		}
+		sp.End()
 	}
 	return out, nil
 }
@@ -176,7 +239,7 @@ func buildBlock(b *BlockSpec, pool map[string]*rbd.Component) (*rbd.Block, error
 	}
 }
 
-func solveFaultTree(spec *FaultTreeSpec) ([]Result, error) {
+func solveFaultTree(spec *FaultTreeSpec, rec obs.Recorder) ([]Result, error) {
 	if spec.Top == nil {
 		return nil, fmt.Errorf("%w: faulttree without top gate", ErrBadSpec)
 	}
@@ -203,8 +266,15 @@ func solveFaultTree(spec *FaultTreeSpec) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rec.Enabled() {
+		st := tree.BDDStats()
+		rec.Set(obs.S("solver", "bdd"), obs.I("events", len(spec.Events)),
+			obs.I("bdd_nodes", tree.BDDSize()),
+			obs.I64("bdd_ite_hits", st.ITEHits), obs.I64("bdd_ite_misses", st.ITEMisses))
+	}
 	var out []Result
 	for _, meas := range spec.Measures {
+		sp := measureSpan(rec, meas)
 		switch meas {
 		case "top":
 			v, err := tree.TopStatic()
@@ -213,7 +283,9 @@ func solveFaultTree(spec *FaultTreeSpec) ([]Result, error) {
 			}
 			out = append(out, Result{Measure: meas, Value: v})
 		case "mincuts":
-			out = append(out, Result{Measure: meas, Sets: tree.MinimalCutSets()})
+			cuts := tree.MinimalCutSets()
+			sp.Set(obs.I("mincuts", len(cuts)))
+			out = append(out, Result{Measure: meas, Sets: cuts})
 		case "rare-event":
 			v, err := tree.RareEventBound()
 			if err != nil {
@@ -248,6 +320,7 @@ func solveFaultTree(spec *FaultTreeSpec) ([]Result, error) {
 		default:
 			return nil, fmt.Errorf("%w: unknown faulttree measure %q", ErrBadSpec, meas)
 		}
+		sp.End()
 	}
 	return out, nil
 }
@@ -288,18 +361,29 @@ func buildGate(g *GateSpec, pool map[string]*faulttree.Event) (*faulttree.Node, 
 	}
 }
 
-func solveCTMC(spec *CTMCSpec) ([]Result, error) {
+func solveCTMC(spec *CTMCSpec, rec obs.Recorder) ([]Result, error) {
 	c := markov.NewCTMC()
 	for _, tr := range spec.Transitions {
 		if err := c.AddRate(tr.From, tr.To, tr.Rate); err != nil {
 			return nil, err
 		}
 	}
+	if rec.Enabled() {
+		rec.Set(obs.I("states", c.NumStates()), obs.I("transitions", len(spec.Transitions)))
+	}
+	ssOpts := func(sp obs.Recorder) markov.SteadyStateOptions {
+		return markov.SteadyStateOptions{
+			Method:   spec.Solver,
+			SOR:      linalg.SOROptions{Tol: spec.SolverTol, MaxIter: spec.SolverMaxIter},
+			Recorder: sp,
+		}
+	}
 	var out []Result
 	for _, meas := range spec.Measures {
+		sp := measureSpan(rec, meas)
 		switch meas {
 		case "steadystate":
-			pi, err := c.SteadyStateMap()
+			pi, err := c.SteadyStateMapWithOptions(ssOpts(sp))
 			if err != nil {
 				return nil, err
 			}
@@ -308,7 +392,7 @@ func solveCTMC(spec *CTMCSpec) ([]Result, error) {
 			if len(spec.UpStates) == 0 {
 				return nil, fmt.Errorf("%w: availability needs upStates", ErrBadSpec)
 			}
-			pi, err := c.SteadyState()
+			pi, err := c.SteadyStateWithOptions(ssOpts(sp))
 			if err != nil {
 				return nil, err
 			}
@@ -325,7 +409,7 @@ func solveCTMC(spec *CTMCSpec) ([]Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, err := c.Transient(spec.Time, p0, markov.TransientOptions{})
+			p, err := c.Transient(spec.Time, p0, markov.TransientOptions{Recorder: sp})
 			if err != nil {
 				return nil, err
 			}
@@ -346,19 +430,24 @@ func solveCTMC(spec *CTMCSpec) ([]Result, error) {
 		default:
 			return nil, fmt.Errorf("%w: unknown ctmc measure %q", ErrBadSpec, meas)
 		}
+		sp.End()
 	}
 	return out, nil
 }
 
-func solveRelGraph(spec *RelGraphSpec) ([]Result, error) {
+func solveRelGraph(spec *RelGraphSpec, rec obs.Recorder) ([]Result, error) {
 	g := relgraph.New()
 	for _, es := range spec.Edges {
 		if err := g.AddEdge(relgraph.Edge{Name: es.Name, From: es.From, To: es.To, Rel: es.Rel}); err != nil {
 			return nil, err
 		}
 	}
+	if rec.Enabled() {
+		rec.Set(obs.S("solver", "factoring"), obs.I("edges", len(spec.Edges)))
+	}
 	var out []Result
 	for _, meas := range spec.Measures {
+		sp := measureSpan(rec, meas)
 		switch meas {
 		case "reliability":
 			v, err := g.Reliability(spec.Source, spec.Target)
@@ -371,16 +460,19 @@ func solveRelGraph(spec *RelGraphSpec) ([]Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			sp.Set(obs.I("minpaths", len(paths)))
 			out = append(out, Result{Measure: meas, Sets: paths})
 		case "mincuts":
 			cuts, err := g.MinimalCuts(spec.Source, spec.Target)
 			if err != nil {
 				return nil, err
 			}
+			sp.Set(obs.I("mincuts", len(cuts)))
 			out = append(out, Result{Measure: meas, Sets: cuts})
 		default:
 			return nil, fmt.Errorf("%w: unknown relgraph measure %q", ErrBadSpec, meas)
 		}
+		sp.End()
 	}
 	return out, nil
 }

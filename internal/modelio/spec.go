@@ -165,6 +165,13 @@ type CTMCSpec struct {
 	Measures []string `json:"measures"`
 	// Time is the horizon for "transient".
 	Time float64 `json:"time,omitempty"`
+	// Solver selects the steady-state method: "auto" (default), "gth",
+	// or "sor".
+	Solver string `json:"solver,omitempty"`
+	// SolverTol overrides the iterative solver's convergence tolerance.
+	SolverTol float64 `json:"solverTol,omitempty"`
+	// SolverMaxIter overrides the iterative solver's sweep budget.
+	SolverMaxIter int `json:"solverMaxIter,omitempty"`
 }
 
 // CTMCTransition is one rate entry.

@@ -3,6 +3,7 @@ package modelio
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/spn"
 )
 
@@ -107,7 +108,7 @@ func buildSPN(spec *SPNSpec) (*spn.Net, error) {
 	return n, nil
 }
 
-func solveSPN(spec *SPNSpec) ([]Result, error) {
+func solveSPN(spec *SPNSpec, rec obs.Recorder) ([]Result, error) {
 	n, err := buildSPN(spec)
 	if err != nil {
 		return nil, err
@@ -116,12 +117,19 @@ func solveSPN(spec *SPNSpec) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rec.Enabled() {
+		rec.Set(obs.S("solver", "spn-ctmc"),
+			obs.I("places", len(spec.Places)),
+			obs.I("spn_transitions", len(spec.Transitions)),
+			obs.I("tangible_states", tc.NumTangible()))
+	}
 	conds := make(map[string]SPNCondition, len(spec.Conditions))
 	for _, c := range spec.Conditions {
 		conds[c.Name] = c
 	}
 	var out []Result
 	for _, meas := range spec.Measures {
+		sp := measureSpan(rec, meas)
 		switch {
 		case meas == "states":
 			out = append(out, Result{Measure: meas, Value: float64(tc.NumTangible())})
@@ -158,6 +166,7 @@ func solveSPN(spec *SPNSpec) ([]Result, error) {
 		default:
 			return nil, fmt.Errorf("%w: unknown spn measure %q", ErrBadSpec, meas)
 		}
+		sp.End()
 	}
 	return out, nil
 }

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is an opt-in HTTP endpoint serving net/http/pprof profiles
+// and the expvar counter page during long solves. It binds its own mux so
+// importing this package never touches http.DefaultServeMux.
+type DebugServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug starts a debug server on addr ("localhost:6060", ":0", …).
+// Routes: /debug/pprof/ (index, profile, heap, trace, …) and /debug/vars
+// (expvar, including the relprobe.* counters).
+func ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns ErrServerClosed on Close; nothing to report.
+		_ = srv.Serve(ln) //numvet:allow ignored-err shutdown race is benign for a debug endpoint
+	}()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

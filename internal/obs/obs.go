@@ -1,0 +1,105 @@
+// Package obs is the solver-telemetry layer ("relprobe") threaded through
+// the analytic pipeline. Every solver entry point accepts a Recorder; the
+// default is a no-op whose calls compile to nothing observable, so
+// un-instrumented solves pay no cost. When a Trace is attached instead, a
+// hierarchical solve renders as a tree of nested spans — one span per
+// solver invocation, carrying wall time, typed attributes (state counts,
+// uniformization truncation points, BDD node counts, …) and per-iteration
+// convergence records (iteration number, residual, optional label).
+//
+// The package is stdlib-only by design: it sits below every solver package
+// and must not create import cycles or external dependencies.
+package obs
+
+// attrKind discriminates the value stored in an Attr.
+type attrKind uint8
+
+const (
+	kindFloat attrKind = iota
+	kindInt
+	kindString
+)
+
+// Attr is one typed key/value annotation on a span.
+type Attr struct {
+	// Key names the attribute (snake_case by convention).
+	Key string
+
+	kind attrKind
+	num  float64
+	i    int64
+	str  string
+}
+
+// F returns a float-valued attribute.
+func F(key string, v float64) Attr { return Attr{Key: key, kind: kindFloat, num: v} }
+
+// I returns an integer-valued attribute.
+func I(key string, v int) Attr { return Attr{Key: key, kind: kindInt, i: int64(v)} }
+
+// I64 returns an integer-valued attribute from an int64.
+func I64(key string, v int64) Attr { return Attr{Key: key, kind: kindInt, i: v} }
+
+// S returns a string-valued attribute.
+func S(key, v string) Attr { return Attr{Key: key, kind: kindString, str: v} }
+
+// Value returns the attribute's value as an any (float64, int64, or string).
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return a.i
+	case kindString:
+		return a.str
+	default:
+		return a.num
+	}
+}
+
+// Recorder collects solver telemetry. Implementations must tolerate calls
+// from the single goroutine driving a solve; Trace additionally locks so
+// concurrent experiment sweeps can share one recorder.
+//
+// The no-op recorder (Nop) is the default everywhere: solver hot paths
+// guard per-iteration calls with Enabled(), so a disabled recorder costs
+// one interface call per solve, not per iteration.
+type Recorder interface {
+	// Enabled reports whether events are actually collected. Hot loops
+	// should check it once (or per iteration) before calling Iter.
+	Enabled() bool
+	// Span opens a child span and returns a Recorder scoped to it. End
+	// must be called on the returned recorder, not the parent.
+	Span(name string, attrs ...Attr) Recorder
+	// End closes the span this recorder is scoped to, stamping wall time.
+	End()
+	// Iter records one iteration of an iterative solve on the current span.
+	Iter(n int, residual float64)
+	// IterLabel records one iteration with a label (e.g. the submodel that
+	// dominated a fixed-point sweep).
+	IterLabel(n int, residual float64, label string)
+	// Set attaches attributes to the current span.
+	Set(attrs ...Attr)
+}
+
+// nopRecorder discards everything.
+type nopRecorder struct{}
+
+func (nopRecorder) Enabled() bool                  { return false }
+func (nopRecorder) Span(string, ...Attr) Recorder  { return nopRecorder{} }
+func (nopRecorder) End()                           {}
+func (nopRecorder) Iter(int, float64)              {}
+func (nopRecorder) IterLabel(int, float64, string) {}
+func (nopRecorder) Set(...Attr)                    {}
+
+var nop Recorder = nopRecorder{}
+
+// Nop returns the shared no-op recorder.
+func Nop() Recorder { return nop }
+
+// Or normalizes a possibly-nil recorder from an options struct: nil means
+// "telemetry disabled" and maps to Nop.
+func Or(r Recorder) Recorder {
+	if r == nil {
+		return nop
+	}
+	return r
+}

@@ -211,6 +211,10 @@ func (m *Model) Components() []*Component {
 // model complexity.
 func (m *Model) BDDSize() int { return m.mgr.NodeCount(m.success) }
 
+// BDDStats returns the underlying BDD manager's node and ITE-cache
+// counters (for solver telemetry).
+func (m *Model) BDDStats() bdd.Stats { return m.mgr.Stats() }
+
 // Probability returns the system up-probability given per-component
 // up-probabilities supplied by up.
 func (m *Model) Probability(up func(*Component) float64) (float64, error) {

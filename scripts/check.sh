@@ -22,6 +22,9 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench smoke"
+go test -bench=. -benchtime=1x -run='^$' ./...
+
 echo "== numvet"
 go run ./cmd/numvet ./internal/...
 
