@@ -9,13 +9,15 @@ import (
 	"strings"
 )
 
-// The three numerical-hygiene rules this repo enforces on its library
-// packages. Each finding names its rule so a same-line
+// The numerical- and robustness-hygiene rules this repo enforces on its
+// library packages. Each finding names its rule so a same-line
 // "//numvet:allow <rule> <reason>" comment can acknowledge it.
 const (
-	ruleFloatEq    = "float-eq"
-	rulePanic      = "panic"
-	ruleIgnoredErr = "ignored-err"
+	ruleFloatEq       = "float-eq"
+	rulePanic         = "panic"
+	ruleIgnoredErr    = "ignored-err"
+	ruleTimeSleep     = "time-sleep"
+	ruleUnboundedLoop = "unbounded-loop"
 )
 
 // Finding is one rule violation.
@@ -114,6 +116,14 @@ func (v *visitor) inspect(n ast.Node) bool {
 					"floating-point %s comparison; use core.AlmostEqual or restructure", n.Op)
 			}
 		}
+	case *ast.ForStmt:
+		// A condition-less loop in library code has no structural bound; it
+		// must carry an allow comment naming why it terminates (rejection
+		// sampling, explicit break on a counted budget, …).
+		if n.Cond == nil && v.pkgName != "main" {
+			v.report(n.For, ruleUnboundedLoop,
+				"unbounded for-loop in library function %s; bound it or justify termination with an allow comment", v.funcName)
+		}
 	case *ast.CallExpr:
 		if id, ok := n.Fun.(*ast.Ident); ok && isBuiltinPanic(id, v.info) {
 			// A library package must return errors; panics are reserved
@@ -122,6 +132,12 @@ func (v *visitor) inspect(n ast.Node) bool {
 				v.report(n.Pos(), rulePanic,
 					"panic in library function %s; return an error instead", v.funcName)
 			}
+		}
+		// Blocking sleeps ignore cancellation; solvers must use a timer in
+		// a select so a context can interrupt the wait.
+		if v.pkgName != "main" && v.isTimeSleep(n) {
+			v.report(n.Pos(), ruleTimeSleep,
+				"time.Sleep in library function %s; use time.NewTimer with select so waits stay cancellable", v.funcName)
 		}
 	case *ast.ExprStmt:
 		call, ok := n.X.(*ast.CallExpr)
@@ -134,6 +150,20 @@ func (v *visitor) inspect(n ast.Node) bool {
 		}
 	}
 	return true
+}
+
+// isTimeSleep reports whether the call resolves to the standard library's
+// time.Sleep (and not a method or local function sharing the name).
+func (v *visitor) isTimeSleep(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	obj := v.info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "time"
 }
 
 // isFloat reports whether the expression has a floating-point type.

@@ -256,3 +256,98 @@ func TestRepoIsClean(t *testing.T) {
 		}
 	}
 }
+
+func TestTimeSleepRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+import "time"
+
+func Wait() {
+	time.Sleep(time.Second)
+}
+
+func Allowed() {
+	time.Sleep(time.Millisecond) //numvet:allow time-sleep test-only shim
+}
+
+// Shadowed calls a method named Sleep on a local type, not time.Sleep.
+type snoozer struct{}
+
+func (snoozer) Sleep(d time.Duration) {}
+
+func Local() {
+	var s snoozer
+	s.Sleep(time.Second)
+}
+`,
+		"cmd/tool/main.go": `package main
+
+import "time"
+
+func main() {
+	time.Sleep(time.Second) // mains may block
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib", "./cmd/tool")
+	if got := rules(fs)[ruleTimeSleep]; got != 1 {
+		t.Fatalf("want exactly 1 time-sleep finding (in Wait), got %d: %v", got, fs)
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("time-sleep finding at line %d, want 6: %v", fs[0].Pos.Line, fs[0])
+	}
+}
+
+func TestUnboundedLoopRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+func Spin() {
+	for {
+	}
+}
+
+func NoCond() {
+	for i := 0; ; i++ {
+		if i > 10 {
+			break
+		}
+	}
+}
+
+func Bounded(n int) {
+	for i := 0; i < n; i++ {
+	}
+}
+
+func Ranged(xs []int) {
+	for range xs {
+	}
+}
+
+func Allowed() {
+	for { //numvet:allow unbounded-loop breaks on sentinel
+		break
+	}
+}
+`,
+		"cmd/tool/main.go": `package main
+
+func main() {
+	for { // event loops in mains are fine
+		break
+	}
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib", "./cmd/tool")
+	if got := rules(fs)[ruleUnboundedLoop]; got != 2 {
+		t.Fatalf("want 2 unbounded-loop findings (Spin, NoCond), got %d: %v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Pos.Line != 4 && f.Pos.Line != 9 {
+			t.Errorf("finding on unexpected line %d: %v", f.Pos.Line, f)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// TestStiffChainTraceJSON is the fallback-chain acceptance test: the
+// bundled stiff model selects solver "chain" with a sweep budget SOR
+// cannot meet, so the solve must escalate to GTH and the -trace-json
+// document must carry both attempts plus the winner.
+func TestStiffChainTraceJSON(t *testing.T) {
+	model := filepath.Join("..", "..", "models", "stiff.json")
+	var out strings.Builder
+	if err := run([]string{"solve", "-trace-json", model}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results []struct {
+			Measure string  `json:"measure"`
+			Value   float64 `json:"value"`
+		} `json:"results"`
+		Trace json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("decoding -trace-json output: %v", err)
+	}
+	if len(doc.Results) == 0 {
+		t.Fatal("no results in chain-solved document")
+	}
+	trace := string(doc.Trace)
+	for _, want := range []string{
+		`"attempt:sor"`, `"attempt:gth"`,
+		`"failure_class": "no-convergence"`, `"winner": "gth"`,
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+	var avail float64
+	for _, r := range doc.Results {
+		if r.Measure == "availability" {
+			avail = r.Value
+		}
+	}
+	if avail <= 0.99 || avail > 1 {
+		t.Errorf("chain-solved availability = %g, want in (0.99, 1]", avail)
+	}
+}
+
+// bigChainModel writes an n-state birth–death CTMC whose SOR solve runs
+// long enough for a millisecond deadline to land mid-iteration.
+func bigChainModel(t *testing.T, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"type":"ctmc","name":"big chain","ctmc":{"transitions":[`)
+	for i := 0; i < n-1; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"from":"s%d","to":"s%d","rate":1.0},{"from":"s%d","to":"s%d","rate":2.0}`,
+			i, i+1, i+1, i)
+	}
+	sb.WriteString(`],"measures":["steadystate"],"solver":"sor","solverTol":1e-30}}`)
+	path := filepath.Join(t.TempDir(), "big.json")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSolveTimeoutDeadline is the cancellation acceptance test: a solve
+// that cannot finish inside -timeout must come back as guard.ErrDeadline,
+// not hang and not panic.
+func TestSolveTimeoutDeadline(t *testing.T) {
+	model := bigChainModel(t, 2000)
+	var out strings.Builder
+	err := run([]string{"solve", "-timeout", "1ms", model}, nil, &out)
+	if err == nil {
+		t.Fatal("expected a deadline error, got success")
+	}
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("error %v (type %T) does not match guard.ErrDeadline", err, err)
+	}
+	var ierr *guard.InterruptError
+	if !errors.As(err, &ierr) {
+		t.Fatalf("error %v does not unwrap to *guard.InterruptError", err)
+	}
+	if ierr.Op == "" {
+		t.Error("InterruptError carries no operation label")
+	}
+}
+
+// TestSolveRailsStrictFlag locks the -rails plumbing: the bundled
+// broken_rowsum model is structurally fine for solving but lint-dirty, so
+// it solves under the default rails; an unknown strictness must be
+// rejected before any solver runs.
+func TestSolveRailsStrictFlag(t *testing.T) {
+	model := filepath.Join("..", "..", "models", "repairfarm.json")
+	var out strings.Builder
+	if err := run([]string{"solve", "-rails", "strict", model}, nil, &out); err != nil {
+		t.Fatalf("strict rails on a healthy model: %v", err)
+	}
+	out.Reset()
+	err := run([]string{"solve", "-rails", "bogus", model}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("expected unknown-strictness error naming %q, got %v", "bogus", err)
+	}
+}

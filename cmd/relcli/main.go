@@ -4,6 +4,7 @@
 //
 //	relcli [solve] -model system.json [-json] [-preflight]
 //	relcli solve [-trace] [-trace-json] [-metrics] [-pprof addr] model.json
+//	relcli solve [-timeout 30s] [-rails strict|warn|off] model.json
 //	cat system.json | relcli [-json]
 //	relcli lint [-json] model.json [model.json ...]
 //
@@ -34,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/lint"
 	"repro/internal/modelio"
 	"repro/internal/obs"
@@ -65,6 +67,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	traceJSON := fs.Bool("trace-json", false, "emit {results, trace} as JSON on stdout")
 	metrics := fs.Bool("metrics", false, "print a one-line trace summary to stderr")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address while solving")
+	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 disables)")
+	rails := fs.String("rails", "", "numerical guard-rail strictness: strict, warn (default), or off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,7 +99,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer srv.Close()
 		fmt.Fprintf(stderr, "relcli: pprof/expvar at http://%s/debug/pprof/\n", srv.Addr)
 	}
-	opts := modelio.SolveOptions{Preflight: *preflight}
+	opts := modelio.SolveOptions{
+		Preflight: *preflight,
+		Timeout:   *timeout,
+		Rails:     guard.Strictness(*rails),
+	}
 	var tr *obs.Trace
 	if *traceText || *traceJSON || *metrics {
 		rootName := spec.Name

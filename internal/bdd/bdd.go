@@ -35,6 +35,9 @@ type Manager struct {
 	iteC   map[[3]Ref]Ref
 	nvars  int
 
+	nodeLimit int
+	limitHit  bool
+
 	iteHits, iteMisses int64
 }
 
@@ -71,6 +74,18 @@ func New(nvars int) *Manager {
 // NumVars returns the number of declared variables.
 func (m *Manager) NumVars() int { return m.nvars }
 
+// SetNodeLimit bounds the internal node table to limit nodes (terminals
+// excluded); 0 removes the bound. Once the limit trips, node construction
+// degrades to returning arbitrary existing refs — the manager's results
+// are meaningless from that point and the caller must check LimitExceeded
+// and discard them. The degradation keeps the remaining construction O(1)
+// per operation, so an over-budget compile aborts cheaply instead of
+// exhausting memory first.
+func (m *Manager) SetNodeLimit(limit int) { m.nodeLimit = limit }
+
+// LimitExceeded reports whether a SetNodeLimit budget has tripped.
+func (m *Manager) LimitExceeded() bool { return m.limitHit }
+
 // Size returns the number of live nodes (including terminals).
 func (m *Manager) Size() int { return len(m.nodes) }
 
@@ -92,6 +107,10 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 	if r, ok := m.unique[key]; ok {
 		return r
 	}
+	if m.nodeLimit > 0 && len(m.nodes)-2 >= m.nodeLimit {
+		m.limitHit = true
+		return low
+	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, key)
 	m.unique[key] = r
@@ -103,6 +122,11 @@ func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
 // ITE computes if-then-else(f, g, h) = f·g + ¬f·h. All Boolean connectives
 // reduce to ITE.
 func (m *Manager) ITE(f, g, h Ref) Ref {
+	if m.limitHit {
+		// The node budget already tripped: results are discarded, so stop
+		// doing real work and unwind the construction cheaply.
+		return False
+	}
 	// Terminal cases.
 	switch {
 	case f == True:

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/bdd"
+	"repro/internal/guard"
 )
 
 // CutSystem is a coherent system described by its minimal cut sets over
@@ -85,6 +86,29 @@ func (cs *CutSystem) RareEvent() (float64, error) {
 		s = 1
 	}
 	return s, nil
+}
+
+// RareEventLog returns the natural log of the rare-event upper bound,
+// evaluated entirely in log space: cut products that underflow float64
+// (e.g. 40 components at 1e-12 each) still contribute, where RareEvent
+// would silently return 0 and certify nothing.
+func (cs *CutSystem) RareEventLog() (float64, error) {
+	if err := cs.Validate(); err != nil {
+		return 0, err
+	}
+	logs := make([]float64, len(cs.Cuts))
+	for i, cut := range cs.Cuts {
+		ps := make([]float64, len(cut))
+		for j, v := range cut {
+			ps[j] = cs.FailP[v]
+		}
+		lc, err := guard.LogCutProb(ps)
+		if err != nil {
+			return 0, fmt.Errorf("%w: cut %d: %v", ErrBadProb, i, err)
+		}
+		logs[i] = lc
+	}
+	return guard.LogRareEvent(logs), nil
 }
 
 // EsaryProschanUpper returns the Esary–Proschan upper bound on system

@@ -77,9 +77,9 @@ func (d Gamma) Rand(rng *rand.Rand) float64 {
 	}
 	dd := k - 1.0/3
 	c := 1 / math.Sqrt(9*dd)
-	for {
+	for { //numvet:allow unbounded-loop Marsaglia-Tsang rejection sampling; acceptance probability is >0.95 per draw
 		var x, v float64
-		for {
+		for { //numvet:allow unbounded-loop v>0 rejection; accepts with probability >0.99 per normal draw
 			x = rng.NormFloat64()
 			v = 1 + c*x
 			if v > 0 {

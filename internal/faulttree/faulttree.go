@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/dist"
+	"repro/internal/guard"
 )
 
 // Event is a basic event (component failure mode).
@@ -83,10 +84,48 @@ var (
 	ErrMalformed   = errors.New("faulttree: malformed tree")
 	ErrNonCoherent = errors.New("faulttree: operation requires a coherent tree (no NOT gates)")
 	ErrNoLifetime  = errors.New("faulttree: event lacks a lifetime distribution")
+	ErrNoBDD       = errors.New("faulttree: operation requires a compiled BDD (tree built with NewCutSetsOnly)")
 )
 
 // New compiles the gate tree rooted at top.
 func New(top *Node) (*Tree, error) {
+	return NewWithBudget(top, 0)
+}
+
+// NewWithBudget compiles like New but refuses to grow the top-event BDD
+// past budget internal nodes, returning a *guard.BudgetError instead (the
+// Boeing path: a model too large for exact solution, where the cut-set
+// bounding fallback must take over). A budget of 0 is unlimited.
+func NewWithBudget(top *Node, budget int) (*Tree, error) {
+	t, err := newTree(top)
+	if err != nil {
+		return nil, err
+	}
+	t.mgr = bdd.New(len(t.events))
+	if budget > 0 {
+		t.mgr.SetNodeLimit(budget)
+	}
+	ref, err := t.compile(top)
+	if err != nil {
+		return nil, err
+	}
+	if t.mgr.LimitExceeded() {
+		return nil, &guard.BudgetError{Op: "faulttree.bdd", Budget: budget, Actual: t.mgr.Size() - 2}
+	}
+	t.top = ref
+	return t, nil
+}
+
+// NewCutSetsOnly validates and indexes the gate tree without compiling a
+// BDD. The resulting tree supports only the cut-set analyses (MOCUS,
+// CutSets, RareEventBoundLog); the BDD-backed methods return ErrNoBDD.
+// This is the fallback representation when a BDD budget is exceeded.
+func NewCutSetsOnly(top *Node) (*Tree, error) {
+	return newTree(top)
+}
+
+// newTree collects and validates the events without touching a BDD.
+func newTree(top *Node) (*Tree, error) {
 	if top == nil {
 		return nil, fmt.Errorf("%w: nil root", ErrMalformed)
 	}
@@ -104,12 +143,6 @@ func New(top *Node) (*Tree, error) {
 		}
 		names[e.Name] = true
 	}
-	t.mgr = bdd.New(len(t.events))
-	ref, err := t.compile(top)
-	if err != nil {
-		return nil, err
-	}
-	t.top = ref
 	return t, nil
 }
 
@@ -193,16 +226,30 @@ func (t *Tree) Events() []*Event {
 // Coherent reports whether the tree contains no NOT gates.
 func (t *Tree) Coherent() bool { return t.coherent }
 
-// BDDSize returns the node count of the top-event BDD.
-func (t *Tree) BDDSize() int { return t.mgr.NodeCount(t.top) }
+// BDDSize returns the node count of the top-event BDD (0 for a
+// cut-sets-only tree).
+func (t *Tree) BDDSize() int {
+	if t.mgr == nil {
+		return 0
+	}
+	return t.mgr.NodeCount(t.top)
+}
 
 // BDDStats returns the underlying BDD manager's node and ITE-cache
-// counters (for solver telemetry).
-func (t *Tree) BDDStats() bdd.Stats { return t.mgr.Stats() }
+// counters (for solver telemetry; zero for a cut-sets-only tree).
+func (t *Tree) BDDStats() bdd.Stats {
+	if t.mgr == nil {
+		return bdd.Stats{}
+	}
+	return t.mgr.Stats()
+}
 
 // TopProbability returns the exact top-event probability given event
 // probabilities from probOf.
 func (t *Tree) TopProbability(probOf func(*Event) float64) (float64, error) {
+	if t.mgr == nil {
+		return 0, ErrNoBDD
+	}
 	p := make([]float64, len(t.events))
 	for i, e := range t.events {
 		p[i] = probOf(e)
@@ -235,8 +282,11 @@ func (t *Tree) TopAt(tau float64) (float64, error) {
 
 // MinimalCutSets returns the minimal cut sets (as event-name lists) via the
 // BDD. For non-coherent trees the result is the positive-literal minimal
-// solutions.
+// solutions. It returns nil for a cut-sets-only tree; use CutSets there.
 func (t *Tree) MinimalCutSets() [][]string {
+	if t.mgr == nil {
+		return nil
+	}
 	cuts := t.mgr.MinimalCutSets(t.top)
 	out := make([][]string, len(cuts))
 	for i, c := range cuts {
@@ -247,4 +297,46 @@ func (t *Tree) MinimalCutSets() [][]string {
 		out[i] = names
 	}
 	return out
+}
+
+// CutSets returns the minimal cut sets through whichever representation the
+// tree has: the BDD when compiled, MOCUS gate expansion otherwise.
+func (t *Tree) CutSets() ([][]string, error) {
+	if t.mgr != nil {
+		return t.MinimalCutSets(), nil
+	}
+	return t.MOCUS(0)
+}
+
+// RareEventBoundLog returns the natural log of the rare-event upper bound
+// on the top-event probability, evaluated entirely in log space so that
+// per-cut products far below the smallest positive float64 (dozens of
+// 1e-12 events in one cut) still produce a usable bound instead of
+// underflowing to zero. Works on both compiled and cut-sets-only trees;
+// requires a coherent tree.
+func (t *Tree) RareEventBoundLog() (float64, error) {
+	if !t.coherent {
+		return 0, ErrNonCoherent
+	}
+	cuts, err := t.CutSets()
+	if err != nil {
+		return 0, err
+	}
+	probOf := make(map[string]float64, len(t.events))
+	for _, e := range t.events {
+		probOf[e.Name] = e.Prob
+	}
+	logs := make([]float64, len(cuts))
+	for i, c := range cuts {
+		ps := make([]float64, len(c))
+		for j, name := range c {
+			ps[j] = probOf[name]
+		}
+		lc, err := guard.LogCutProb(ps)
+		if err != nil {
+			return 0, fmt.Errorf("faulttree: cut %v: %w", c, err)
+		}
+		logs[i] = lc
+	}
+	return guard.LogRareEvent(logs), nil
 }

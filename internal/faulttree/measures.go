@@ -16,6 +16,9 @@ type ImportanceMeasures struct {
 // Importance computes importance measures for every basic event using the
 // static event probabilities.
 func (t *Tree) Importance() ([]ImportanceMeasures, error) {
+	if t.mgr == nil {
+		return nil, ErrNoBDD
+	}
 	p := make([]float64, len(t.events))
 	for i, e := range t.events {
 		p[i] = e.Prob
@@ -64,6 +67,9 @@ func (t *Tree) RareEventBound() (float64, error) {
 	if !t.coherent {
 		return 0, ErrNonCoherent
 	}
+	if t.mgr == nil {
+		return 0, ErrNoBDD
+	}
 	p := make([]float64, len(t.events))
 	for i, e := range t.events {
 		p[i] = e.Prob
@@ -91,6 +97,9 @@ func (t *Tree) RareEventBound() (float64, error) {
 func (t *Tree) InclusionExclusion(maxOrder int) (float64, error) {
 	if !t.coherent {
 		return 0, ErrNonCoherent
+	}
+	if t.mgr == nil {
+		return 0, ErrNoBDD
 	}
 	p := make([]float64, len(t.events))
 	for i, e := range t.events {

@@ -1,0 +1,120 @@
+package hier
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// nanAfter returns a cyclic two-model composition whose "source" submodel
+// starts emitting NaN at the given sweep — the shape of a divide-by-zero
+// deep inside a lower-level model.
+func nanAfter(sweep int) (*Composition, error) {
+	calls := 0
+	src := FuncModel{
+		ModelName: "source",
+		In:        []string{"x"},
+		Out:       []string{"y"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			calls++
+			if calls >= sweep {
+				return map[string]float64{"y": math.NaN()}, nil
+			}
+			return map[string]float64{"y": in["x"] / 2}, nil
+		},
+	}
+	copyBack := FuncModel{
+		ModelName: "copy",
+		In:        []string{"y"},
+		Out:       []string{"x"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"x": in["y"]}, nil
+		},
+	}
+	return NewComposition(src, copyBack)
+}
+
+// TestNonFiniteFailsFastWithDominantLabel locks the NaN-spin fix: before,
+// a NaN iterate either spun to MaxIter or — worse — "converged", because
+// NaN comparisons never exceed the residual. Now the sweep that produces
+// it fails immediately and names the submodel responsible.
+func TestNonFiniteFailsFastWithDominantLabel(t *testing.T) {
+	comp, err := nanAfter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = comp.Solve(map[string]float64{"x": 1}, Options{MaxIter: 500})
+	if err == nil {
+		t.Fatal("NaN-producing composition converged without error")
+	}
+	var nf *NonFiniteError
+	if !errors.As(err, &nf) {
+		t.Fatalf("error %v (type %T) is not *NonFiniteError", err, err)
+	}
+	if nf.Dominant != "source" {
+		t.Errorf("dominant submodel = %q, want %q", nf.Dominant, "source")
+	}
+	if nf.Variable != "y" {
+		t.Errorf("non-finite variable = %q, want %q", nf.Variable, "y")
+	}
+	if nf.Sweep > 5 {
+		t.Errorf("failed at sweep %d; the fix requires failing fast, not spinning", nf.Sweep)
+	}
+	if got := nf.FailureClass(); got != string(guard.ClassNumerical) {
+		t.Errorf("FailureClass() = %q, want %q", got, guard.ClassNumerical)
+	}
+}
+
+// TestNonFiniteUnderDamping exercises the second non-finite check site:
+// with damping, the blended iterate (not the raw submodel output) is what
+// carries the NaN forward.
+func TestNonFiniteUnderDamping(t *testing.T) {
+	comp, err := nanAfter(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = comp.Solve(map[string]float64{"x": 1}, Options{Damping: 0.5, MaxIter: 500})
+	var nf *NonFiniteError
+	if !errors.As(err, &nf) {
+		t.Fatalf("damped solve error %v (type %T) is not *NonFiniteError", err, err)
+	}
+}
+
+// TestSolveCancellation covers the per-sweep context check.
+func TestSolveCancellation(t *testing.T) {
+	m1 := FuncModel{
+		ModelName: "osc", In: []string{"x"}, Out: []string{"y"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"y": math.Cos(in["x"])}, nil
+		},
+	}
+	m2 := FuncModel{
+		ModelName: "copy", In: []string{"y"}, Out: []string{"x"},
+		Fn: func(in map[string]float64) (map[string]float64, error) {
+			return map[string]float64{"x": in["y"]}, nil
+		},
+	}
+	comp, err := NewComposition(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = comp.Solve(map[string]float64{"x": 0.5}, Options{Ctx: ctx})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v does not match guard.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not also match context.Canceled", err)
+	}
+	var ie *guard.InterruptError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v does not unwrap to *guard.InterruptError", err)
+	}
+	if ie.Op != "hier.fixedpoint" {
+		t.Errorf("interrupt op = %q, want hier.fixedpoint", ie.Op)
+	}
+}

@@ -8,10 +8,12 @@
 package hier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -72,6 +74,8 @@ type Options struct {
 	// the max variable delta and the submodel that produced it (nil
 	// disables).
 	Recorder obs.Recorder
+	// Ctx interrupts the iteration between sweeps; nil never interrupts.
+	Ctx context.Context
 }
 
 // Result reports a composition solution.
@@ -112,6 +116,35 @@ func (e *NoConvergenceError) Error() string {
 
 // Unwrap links the typed error to the ErrNoConvergence sentinel.
 func (e *NoConvergenceError) Unwrap() error { return ErrNoConvergence }
+
+// FailureClass implements guard.Classed, so a fallback chain treats an
+// unconverged composition as escalatable.
+func (e *NoConvergenceError) FailureClass() string { return string(guard.ClassNoConvergence) }
+
+// NonFiniteError reports a fixed-point sweep whose damped variable value
+// went non-finite — typically a NaN initial guess or a submodel output
+// that blew up under damping. Without this fail-fast the iteration spins:
+// NaN deltas never compare above the running residual, so the sweep loop
+// either never terminates usefully or reports false convergence.
+type NonFiniteError struct {
+	// Sweep is the 1-based sweep number that produced the value.
+	Sweep int
+	// Variable names the exchanged variable that went non-finite.
+	Variable string
+	// Value is the offending value (NaN or ±Inf).
+	Value float64
+	// Dominant names the submodel whose output produced the value.
+	Dominant string
+}
+
+// Error implements error.
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("hier: variable %q went non-finite (%g) at sweep %d, dominated by submodel %q",
+		e.Variable, e.Value, e.Sweep, e.Dominant)
+}
+
+// FailureClass implements guard.Classed.
+func (e *NonFiniteError) FailureClass() string { return string(guard.ClassNumerical) }
 
 // Composition is an ordered list of submodels solved in sweeps.
 type Composition struct {
@@ -166,6 +199,10 @@ func (c *Composition) Solve(initial map[string]float64, opts Options) (*Result, 
 	var residual float64
 	var dominant string
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := guard.Ctx(opts.Ctx, "hier.fixedpoint", iter-1, residual); err != nil {
+			guard.RecordInterrupt(rec, err)
+			return nil, err
+		}
 		residual = 0
 		dominant = ""
 		for _, m := range c.models {
@@ -188,12 +225,25 @@ func (c *Composition) Solve(initial map[string]float64, opts Options) (*Result, 
 					return nil, fmt.Errorf("hier: model %q did not produce declared output %q",
 						m.Name(), name)
 				}
-				if math.IsNaN(nv) || math.IsInf(nv, 0) {
-					return nil, fmt.Errorf("hier: model %q output %q = %g", m.Name(), name, nv)
+				if !guard.IsFinite(nv) {
+					err := &NonFiniteError{Sweep: iter, Variable: name, Value: nv, Dominant: m.Name()}
+					if tracing {
+						rec.Set(obs.I("iterations", iter), obs.S("outcome", "non-finite"),
+							obs.S("dominant", m.Name()))
+					}
+					return nil, err
 				}
 				old, existed := vars[name]
 				if existed {
 					nv = old + opts.Damping*(nv-old)
+					if !guard.IsFinite(nv) {
+						err := &NonFiniteError{Sweep: iter, Variable: name, Value: nv, Dominant: m.Name()}
+						if tracing {
+							rec.Set(obs.I("iterations", iter), obs.S("outcome", "non-finite"),
+								obs.S("dominant", m.Name()))
+						}
+						return nil, err
+					}
 					if d := math.Abs(nv - old); d > residual {
 						residual = d
 						dominant = m.Name()

@@ -1,9 +1,11 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -19,6 +21,10 @@ type SOROptions struct {
 	X0 []float64
 	// Recorder receives per-sweep convergence telemetry (nil disables).
 	Recorder obs.Recorder
+	// Ctx interrupts the iteration between sweeps; nil never interrupts.
+	// An interrupted solve returns the partial vector together with a
+	// *guard.InterruptError.
+	Ctx context.Context
 }
 
 // DefaultSOROptions returns the options used when a zero value is supplied.
@@ -36,6 +42,8 @@ type PowerOptions struct {
 	MaxIter int
 	// Recorder receives per-step convergence telemetry (nil disables).
 	Recorder obs.Recorder
+	// Ctx interrupts the iteration between steps; nil never interrupts.
+	Ctx context.Context
 }
 
 // DefaultPowerOptions returns the options used when a zero value is
@@ -53,6 +61,25 @@ type ErrNoConvergence struct {
 func (e *ErrNoConvergence) Error() string {
 	return fmt.Sprintf("linalg: no convergence after %d iterations (residual %g)", e.Iter, e.Residual)
 }
+
+// FailureClass implements guard.Classed, so fallback chains escalate past
+// an exhausted iteration budget.
+func (e *ErrNoConvergence) FailureClass() string { return string(guard.ClassNoConvergence) }
+
+// ErrDiverged is returned when an iterative method produces a non-finite
+// sweep delta — the iterate left the representable domain, so more sweeps
+// cannot recover it.
+type ErrDiverged struct {
+	Iter  int
+	Delta float64
+}
+
+func (e *ErrDiverged) Error() string {
+	return fmt.Sprintf("linalg: iteration diverged at sweep %d (delta %g)", e.Iter, e.Delta)
+}
+
+// FailureClass implements guard.Classed.
+func (e *ErrDiverged) FailureClass() string { return string(guard.ClassDivergence) }
 
 // SORSteadyState solves π·Q = 0, Σπ = 1 for an irreducible CTMC generator Q
 // in CSR form using successive over-relaxation on the normal form
@@ -126,6 +153,10 @@ func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
 
 	var prevDelta float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := guard.Ctx(opts.Ctx, "linalg.sor", iter-1, prevDelta); err != nil {
+			guard.RecordInterrupt(rec, err)
+			return pi, iter - 1, err
+		}
 		var maxDelta float64
 		for j := 0; j < n; j++ {
 			var inflow float64
@@ -143,6 +174,12 @@ func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
 				maxDelta = d
 			}
 			pi[j] = next
+		}
+		if !guard.IsFinite(maxDelta) {
+			if tracing {
+				rec.Set(obs.I("iterations", iter), obs.S("outcome", "diverged"))
+			}
+			return pi, iter, &ErrDiverged{Iter: iter, Delta: maxDelta}
 		}
 		if err := Normalize1(pi); err != nil {
 			return nil, iter, fmt.Errorf("sor: %w", err)
@@ -225,6 +262,10 @@ func PowerIterationOpts(p *CSR, opts PowerOptions) ([]float64, int, error) {
 	}
 	var prevDelta float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := guard.Ctx(opts.Ctx, "linalg.power", iter-1, prevDelta); err != nil {
+			guard.RecordInterrupt(rec, err)
+			return pi, iter - 1, err
+		}
 		next, err := p.VecMul(pi)
 		if err != nil {
 			return nil, iter, err
@@ -233,6 +274,12 @@ func PowerIterationOpts(p *CSR, opts PowerOptions) ([]float64, int, error) {
 			return nil, iter, fmt.Errorf("power: %w", err)
 		}
 		d, _ := MaxAbsDiff(next, pi)
+		if !guard.IsFinite(d) {
+			if tracing {
+				rec.Set(obs.I("iterations", iter), obs.S("outcome", "diverged"))
+			}
+			return pi, iter, &ErrDiverged{Iter: iter, Delta: d}
+		}
 		copy(pi, next)
 		if tracing {
 			rec.Iter(iter, d)

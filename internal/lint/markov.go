@@ -219,7 +219,7 @@ func tarjan(n int, adj map[int][]int) sccResult {
 		if low[v] == index[v] {
 			id := comps
 			comps++
-			for {
+			for { //numvet:allow unbounded-loop pops a finite stack; v is guaranteed on it by Tarjan's invariant
 				w := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
 				onStack[w] = false

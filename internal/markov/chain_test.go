@@ -1,0 +1,117 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/obs"
+)
+
+// TestCTMCChainEscalatesToGTH starves SOR so the "chain" method must fall
+// back to GTH, and checks the trace records both attempts and the winner.
+func TestCTMCChainEscalatesToGTH(t *testing.T) {
+	c := NewCTMC()
+	// Rates spanning twelve orders of magnitude, an over-relaxed omega, and
+	// a starved sweep budget: SOR cannot reach 1e-13 in 25 sweeps here.
+	mustRate(t, c, "up", "degraded", 1e-6)
+	mustRate(t, c, "degraded", "up", 1e6)
+	mustRate(t, c, "degraded", "down", 2e6)
+	mustRate(t, c, "down", "degraded", 1e-6)
+	mustRate(t, c, "down", "dead", 1e-3)
+	mustRate(t, c, "dead", "up", 5e6)
+	mustRate(t, c, "up", "dead", 1e-9)
+	tr := obs.NewTrace("test")
+	pi, err := c.SteadyStateMapWithOptions(SteadyStateOptions{
+		Method:   "chain",
+		SOR:      linalg.SOROptions{Tol: 1e-13, MaxIter: 25, Omega: 1.9},
+		Recorder: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range pi {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("chain-solved pi sums to %g, want 1", sum)
+	}
+	if pi["up"] < 0.99 {
+		t.Errorf("pi[up] = %g, want > 0.99", pi["up"])
+	}
+	root := tr.Finish()
+	chain := findSpan(root, "guard.chain")
+	if chain == nil {
+		t.Fatal("no guard.chain span in trace")
+	}
+	if got, _ := chain.Attr("winner"); got != "gth" {
+		t.Errorf("chain winner = %v, want gth", got)
+	}
+	if findSpan(chain, "attempt:sor") == nil || findSpan(chain, "attempt:gth") == nil {
+		t.Errorf("chain span missing attempt children: %+v", chain.Children)
+	}
+}
+
+// TestDTMCChainEscalatesOnOscillation runs the "chain" method on a
+// periodic DTMC: power iteration oscillates forever, so the chain must
+// escalate to the dense GTH solve of P−I, which handles periodicity.
+func TestDTMCChainEscalatesOnOscillation(t *testing.T) {
+	d := NewDTMC()
+	// Bipartite (period-2) chain a↔{b}, c↔{b} with stationary vector
+	// [1/4, 1/2, 1/4]. The uniform power-iteration start alternates between
+	// two iterates forever, so the power step must fail and GTH on P−I win.
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{"a", "b", 1}, {"b", "a", 0.5}, {"b", "c", 0.5}, {"c", "b", 1},
+	} {
+		if err := d.AddProb(tr.from, tr.to, tr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := obs.NewTrace("test")
+	pi, err := d.SteadyStateWithOptions(SteadyStateOptions{Method: "chain", Recorder: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 0.25}
+	for i, v := range pi {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Errorf("pi[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	root := tr.Finish()
+	chain := findSpan(root, "guard.chain")
+	if chain == nil {
+		t.Fatal("no guard.chain span in trace")
+	}
+	if got, _ := chain.Attr("winner"); got != "gth" {
+		t.Errorf("chain winner = %v, want gth", got)
+	}
+}
+
+// findSpan walks the span tree for the first span with the given name.
+func findSpan(s *obs.Span, name string) *obs.Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if got := findSpan(c, name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// mustRate adds a transition or fails the test.
+func mustRate(t *testing.T, c *CTMC, from, to string, rate float64) {
+	t.Helper()
+	if err := c.AddRate(from, to, rate); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,10 +13,12 @@
 package markov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/linalg"
 	"repro/internal/obs"
 )
@@ -122,13 +124,16 @@ const gthThreshold = 600
 // SteadyStateOptions tunes the stationary solve.
 type SteadyStateOptions struct {
 	// Method selects the solver: "" or "auto" (GTH up to gthThreshold
-	// states, SOR beyond), "gth", or "sor".
+	// states, SOR beyond), "gth", "sor", or "chain" (SOR first, escalating
+	// to exact GTH when the iteration fails to converge or diverges).
 	Method string
 	// SOR tunes the iterative solver when it is used. Its Recorder field
 	// is overridden by Recorder below.
 	SOR linalg.SOROptions
 	// Recorder receives solver telemetry (nil disables).
 	Recorder obs.Recorder
+	// Ctx interrupts the solve between sweeps; nil never interrupts.
+	Ctx context.Context
 }
 
 // SteadyState computes the stationary distribution π of an irreducible
@@ -153,9 +158,9 @@ func (c *CTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error
 		} else {
 			method = "sor"
 		}
-	case "gth", "sor":
+	case "gth", "sor", "chain":
 	default:
-		return nil, fmt.Errorf("markov steady state: unknown method %q (want auto, gth, or sor)", opts.Method)
+		return nil, fmt.Errorf("markov steady state: unknown method %q (want auto, gth, sor, or chain)", opts.Method)
 	}
 	rec := obs.Or(opts.Recorder)
 	if rec.Enabled() {
@@ -164,12 +169,33 @@ func (c *CTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error
 			obs.S("method", method))
 		defer rec.End()
 	}
-	if method == "gth" {
-		if rec.Enabled() {
-			sp := rec.Span("linalg.gth", obs.S("solver", "gth"), obs.I("states", q.Rows()))
-			defer sp.End()
+	switch method {
+	case "gth":
+		if err := guard.Ctx(opts.Ctx, "markov.steadystate", 0, math.NaN()); err != nil {
+			guard.RecordInterrupt(rec, err)
+			return nil, err
 		}
-		pi, err := linalg.GTHCSR(q)
+		pi, err := solveGTH(q, rec)
+		if err != nil {
+			return nil, fmt.Errorf("markov steady state: %w", err)
+		}
+		return pi, nil
+	case "chain":
+		pi, _, err := guard.RunChain(opts.Ctx, rec, "steadystate",
+			guard.Step[[]float64]{Name: "sor", Run: func(ctx context.Context, arec obs.Recorder) ([]float64, error) {
+				so := opts.SOR
+				so.Recorder = arec
+				so.Ctx = ctx
+				v, _, err := linalg.SORSteadyState(q, so)
+				if err != nil {
+					return nil, err
+				}
+				return v, nil
+			}},
+			guard.Step[[]float64]{Name: "gth", Run: func(_ context.Context, arec obs.Recorder) ([]float64, error) {
+				return solveGTH(q, arec)
+			}},
+		)
 		if err != nil {
 			return nil, fmt.Errorf("markov steady state: %w", err)
 		}
@@ -177,11 +203,23 @@ func (c *CTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error
 	}
 	sorOpts := opts.SOR
 	sorOpts.Recorder = rec
+	if sorOpts.Ctx == nil {
+		sorOpts.Ctx = opts.Ctx
+	}
 	pi, _, err := linalg.SORSteadyState(q, sorOpts)
 	if err != nil {
 		return nil, fmt.Errorf("markov steady state: %w", err)
 	}
 	return pi, nil
+}
+
+// solveGTH runs the exact GTH elimination under its own solver span.
+func solveGTH(q *linalg.CSR, rec obs.Recorder) ([]float64, error) {
+	if rec.Enabled() {
+		sp := rec.Span("linalg.gth", obs.S("solver", "gth"), obs.I("states", q.Rows()))
+		defer sp.End()
+	}
+	return linalg.GTHCSR(q)
 }
 
 // SteadyStateMap returns the stationary distribution keyed by state name.

@@ -1,9 +1,11 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/linalg"
 	"repro/internal/obs"
 )
@@ -92,7 +94,8 @@ func (d *DTMC) SteadyState() ([]float64, error) {
 }
 
 // SteadyStateWithOptions is SteadyState with solver selection ("auto",
-// "gth", or "power" for a DTMC) and telemetry.
+// "gth", "power", or "chain" — power iteration escalating to exact GTH on
+// P−I — for a DTMC) and telemetry.
 func (d *DTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error) {
 	p, err := d.Matrix()
 	if err != nil {
@@ -107,9 +110,9 @@ func (d *DTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error
 		} else {
 			method = "power"
 		}
-	case "gth", "power":
+	case "gth", "power", "chain":
 	default:
-		return nil, fmt.Errorf("markov dtmc steady state: unknown method %q (want auto, gth, or power)", opts.Method)
+		return nil, fmt.Errorf("markov dtmc steady state: unknown method %q (want auto, gth, power, or chain)", opts.Method)
 	}
 	rec := obs.Or(opts.Recorder)
 	if rec.Enabled() {
@@ -117,7 +120,7 @@ func (d *DTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error
 			obs.I("states", n), obs.S("method", method))
 		defer rec.End()
 	}
-	if method == "gth" {
+	gth := func(rec obs.Recorder) ([]float64, error) {
 		// P − I is a valid generator-shaped matrix: nonnegative
 		// off-diagonals and zero row sums, so GTH applies verbatim.
 		if rec.Enabled() {
@@ -131,13 +134,38 @@ func (d *DTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error
 			})
 			g.Add(i, i, -1)
 		}
-		pi, err := linalg.GTH(g)
+		return linalg.GTH(g)
+	}
+	switch method {
+	case "gth":
+		if err := guard.Ctx(opts.Ctx, "markov.dtmc.steadystate", 0, math.NaN()); err != nil {
+			guard.RecordInterrupt(rec, err)
+			return nil, err
+		}
+		pi, err := gth(rec)
+		if err != nil {
+			return nil, fmt.Errorf("markov dtmc steady state: %w", err)
+		}
+		return pi, nil
+	case "chain":
+		pi, _, err := guard.RunChain(opts.Ctx, rec, "dtmc.steadystate",
+			guard.Step[[]float64]{Name: "power", Run: func(ctx context.Context, arec obs.Recorder) ([]float64, error) {
+				v, _, err := linalg.PowerIterationOpts(p, linalg.PowerOptions{Recorder: arec, Ctx: ctx})
+				if err != nil {
+					return nil, err
+				}
+				return v, nil
+			}},
+			guard.Step[[]float64]{Name: "gth", Run: func(_ context.Context, arec obs.Recorder) ([]float64, error) {
+				return gth(arec)
+			}},
+		)
 		if err != nil {
 			return nil, fmt.Errorf("markov dtmc steady state: %w", err)
 		}
 		return pi, nil
 	}
-	pi, _, err := linalg.PowerIterationOpts(p, linalg.PowerOptions{Recorder: rec})
+	pi, _, err := linalg.PowerIterationOpts(p, linalg.PowerOptions{Recorder: rec, Ctx: opts.Ctx})
 	if err != nil {
 		return nil, fmt.Errorf("markov dtmc steady state: %w", err)
 	}

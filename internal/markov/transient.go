@@ -1,9 +1,11 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/linalg"
 	"repro/internal/obs"
 )
@@ -20,6 +22,9 @@ type TransientOptions struct {
 	// Recording computes one extra L∞ diff per step when steady-state
 	// detection is off.
 	Recorder obs.Recorder
+	// Ctx interrupts the power sequence between matrix powers; nil never
+	// interrupts.
+	Ctx context.Context
 }
 
 // Transient computes the state-probability vector p(t) = p0·e^{Qt} by
@@ -75,6 +80,10 @@ func (c *CTMC) Transient(t float64, p0 []float64, opts TransientOptions) ([]floa
 	// Walk k = 0,1,2,...: accumulate weights[k-left]·(p0·P^k).
 	steps, earlyStop := 0, false
 	for k := 0; k <= kmax; k++ {
+		if err := guard.Ctx(opts.Ctx, "markov.transient", k, math.NaN()); err != nil {
+			guard.RecordInterrupt(rec, err)
+			return nil, err
+		}
 		if k > 0 {
 			next, err := unif.VecMul(prev)
 			if err != nil {
@@ -184,6 +193,10 @@ func (c *CTMC) CumulativeTransient(t float64, p0 []float64, opts TransientOption
 	prev := linalg.Clone(v)
 	cum := 0.0
 	for k := 0; k <= kmax; k++ {
+		if err := guard.Ctx(opts.Ctx, "markov.cumtransient", k, math.NaN()); err != nil {
+			guard.RecordInterrupt(rec, err)
+			return nil, err
+		}
 		if k > 0 {
 			next, err := unif.VecMul(prev)
 			if err != nil {

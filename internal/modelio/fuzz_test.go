@@ -1,0 +1,76 @@
+package modelio
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// seedModels feeds every bundled model document into the fuzz corpus, so
+// mutation starts from realistic specs instead of raw JSON noise.
+func seedModels(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "models", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// A few hand-picked degenerates the glob cannot cover.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"type":"ctmc"}`))
+	f.Add([]byte(`{"type":"rbd","rbd":{"structure":{"comp":"x"}}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"type":"faulttree","faulttree":{"top":{"op":"and"}}}`))
+}
+
+// FuzzLoadDocument fuzzes the JSON model parser: Parse must never panic,
+// and any document it accepts must survive a marshal/re-parse round trip
+// (the spec types are the persistence format, so asymmetry there is a
+// data-loss bug).
+func FuzzLoadDocument(f *testing.F) {
+	seedModels(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted document failed to re-marshal: %v", err)
+		}
+		if _, err := Parse(bytes.NewReader(out)); err != nil {
+			t.Fatalf("round-tripped document rejected: %v\noriginal: %s\nround-trip: %s", err, data, out)
+		}
+	})
+}
+
+// FuzzLint fuzzes the combined parse+lint path: LintDocument must never
+// panic, must always return at least one diagnostic for undecodable input,
+// and its diagnostics must be well-formed (coded, sorted severity set).
+func FuzzLint(f *testing.F) {
+	seedModels(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, ds := LintDocument(bytes.NewReader(data))
+		if spec == nil && len(ds) == 0 {
+			t.Fatal("undecodable document produced no diagnostics")
+		}
+		for _, d := range ds {
+			if d.Code == "" {
+				t.Errorf("diagnostic without a code: %+v", d)
+			}
+			if d.Severity != lint.SevError && d.Severity != lint.SevWarning {
+				t.Errorf("diagnostic with unknown severity %q: %+v", d.Severity, d)
+			}
+		}
+	})
+}

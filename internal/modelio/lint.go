@@ -163,11 +163,17 @@ func checkCTMCMeasures(spec *CTMCSpec) []lint.Diagnostic {
 		}
 	}
 	switch spec.Solver {
-	case "", "auto", "gth", "sor":
+	case "", "auto", "gth", "sor", "chain":
 	default:
 		ds = append(ds, lint.Diagnostic{
 			Code: lint.CodeSpecField, Severity: lint.SevError, Path: "ctmc.solver",
-			Msg: fmt.Sprintf("unknown solver %q (want auto, gth, or sor)", spec.Solver),
+			Msg: fmt.Sprintf("unknown solver %q (want auto, gth, sor, or chain)", spec.Solver),
+		})
+	}
+	if spec.SolverOmega != 0 && (spec.SolverOmega <= 0 || spec.SolverOmega >= 2) { //numvet:allow float-eq zero means unset; option-default sentinel
+		ds = append(ds, lint.Diagnostic{
+			Code: lint.CodeSpecField, Severity: lint.SevError, Path: "ctmc.solverOmega",
+			Msg: fmt.Sprintf("SOR relaxation factor %g outside (0,2)", spec.SolverOmega),
 		})
 	}
 	return ds

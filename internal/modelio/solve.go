@@ -1,13 +1,17 @@
 package modelio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/faulttree"
+	"repro/internal/guard"
 	"repro/internal/hier"
 	"repro/internal/linalg"
 	"repro/internal/lint"
@@ -39,6 +43,25 @@ type SolveOptions struct {
 	// disables; see internal/obs). Attach an *obs.Trace to render the
 	// solve as JSON or an indented text trace.
 	Recorder obs.Recorder
+	// Context interrupts iterative solvers at iteration granularity; an
+	// interrupted solve returns an error matching guard.ErrCanceled or
+	// guard.ErrDeadline. Nil never interrupts.
+	Context context.Context
+	// Timeout, when positive, bounds the whole solve by deriving a
+	// deadline from Context (or the background context when Context is
+	// nil).
+	Timeout time.Duration
+	// Rails selects the numerical guard-rail strictness applied at solver
+	// boundaries: guard.Strict fails the solve on violated invariants
+	// (non-finite outputs, lost probability mass), guard.Warn (the ""
+	// default) records them in the trace, guard.Off disables the checks.
+	Rails guard.Strictness
+}
+
+// solveEnv carries the per-solve robustness state through the dispatcher.
+type solveEnv struct {
+	ctx   context.Context
+	rails guard.Rails
 }
 
 // ErrNoConvergence marks an iterative solver that exhausted its iteration
@@ -67,8 +90,10 @@ func wrapConvergence(err error) error {
 
 // SolveWithOptions evaluates the specification, optionally running the
 // static lint pass first (see SolveOptions.Preflight) and recording
-// solver telemetry (see SolveOptions.Recorder).
-func SolveWithOptions(s *Spec, opts SolveOptions) ([]Result, error) {
+// solver telemetry (see SolveOptions.Recorder). Panics escaping a solver
+// are converted into a *guard.InternalError rather than crashing the
+// caller.
+func SolveWithOptions(s *Spec, opts SolveOptions) (results []Result, err error) {
 	if opts.Preflight {
 		var errs []lint.Diagnostic
 		for _, d := range Lint(s) {
@@ -80,29 +105,48 @@ func SolveWithOptions(s *Spec, opts SolveOptions) ([]Result, error) {
 			return nil, &lint.Error{Diags: errs}
 		}
 	}
+	mode, err := guard.ParseStrictness(string(opts.Rails))
+	if err != nil {
+		return nil, err
+	}
 	rec := obs.Or(opts.Recorder)
 	if rec.Enabled() {
 		rec = rec.Span("modelio.solve", obs.S("type", s.Type), obs.S("model", s.Name))
 		defer rec.End()
 	}
-	results, err := solve(s, rec)
+	defer guard.RecoverPanic(&err, rec, "modelio.solve")
+	ctx := opts.Context
+	if opts.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	env := solveEnv{ctx: ctx, rails: guard.Rails{Mode: mode, Recorder: rec}}
+	results, err = solve(s, rec, env)
 	return results, wrapConvergence(err)
 }
 
 // Solve evaluates every requested measure of the specification.
-func Solve(s *Spec) ([]Result, error) {
-	results, err := solve(s, obs.Nop())
+func Solve(s *Spec) (results []Result, err error) {
+	defer guard.RecoverPanic(&err, nil, "modelio.solve")
+	results, err = solve(s, obs.Nop(), solveEnv{})
 	return results, wrapConvergence(err)
 }
 
-func solve(s *Spec, rec obs.Recorder) ([]Result, error) {
+func solve(s *Spec, rec obs.Recorder, env solveEnv) ([]Result, error) {
+	if err := guard.Ctx(env.ctx, "modelio.solve", 0, math.NaN()); err != nil {
+		return nil, err
+	}
 	switch s.Type {
 	case "rbd":
-		return solveRBD(s.RBD, rec)
+		return solveRBD(s.RBD, rec, env)
 	case "faulttree":
-		return solveFaultTree(s.FaultTree, rec)
+		return solveFaultTree(s.FaultTree, rec, env)
 	case "ctmc":
-		return solveCTMC(s.CTMC, rec)
+		return solveCTMC(s.CTMC, rec, env)
 	case "relgraph":
 		return solveRelGraph(s.RelGraph, rec)
 	case "spn":
@@ -121,7 +165,7 @@ func measureSpan(rec obs.Recorder, meas string) obs.Recorder {
 	return rec.Span("measure:" + meas)
 }
 
-func solveRBD(spec *RBDSpec, rec obs.Recorder) ([]Result, error) {
+func solveRBD(spec *RBDSpec, rec obs.Recorder, env solveEnv) ([]Result, error) {
 	if spec.Structure == nil {
 		return nil, fmt.Errorf("%w: rbd without structure", ErrBadSpec)
 	}
@@ -167,10 +211,16 @@ func solveRBD(spec *RBDSpec, rec obs.Recorder) ([]Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := env.rails.CheckUnitInterval("rbd.availability", v); err != nil {
+				return nil, err
+			}
 			out = append(out, Result{Measure: meas, Value: v})
 		case "mttf":
 			v, err := m.MTTF()
 			if err != nil {
+				return nil, err
+			}
+			if err := env.rails.CheckFiniteScalar("rbd.mttf", v); err != nil {
 				return nil, err
 			}
 			out = append(out, Result{Measure: meas, Value: v})
@@ -180,6 +230,9 @@ func solveRBD(spec *RBDSpec, rec obs.Recorder) ([]Result, error) {
 			}
 			v, err := m.ReliabilityAt(spec.Time)
 			if err != nil {
+				return nil, err
+			}
+			if err := env.rails.CheckUnitInterval("rbd.reliability", v); err != nil {
 				return nil, err
 			}
 			out = append(out, Result{Measure: meas, Value: v})
@@ -239,7 +292,7 @@ func buildBlock(b *BlockSpec, pool map[string]*rbd.Component) (*rbd.Block, error
 	}
 }
 
-func solveFaultTree(spec *FaultTreeSpec, rec obs.Recorder) ([]Result, error) {
+func solveFaultTree(spec *FaultTreeSpec, rec obs.Recorder, env solveEnv) ([]Result, error) {
 	if spec.Top == nil {
 		return nil, fmt.Errorf("%w: faulttree without top gate", ErrBadSpec)
 	}
@@ -262,10 +315,37 @@ func solveFaultTree(spec *FaultTreeSpec, rec obs.Recorder) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.BDDBudget > 0 {
+		// The Boeing path: exact BDD analysis inside the node budget,
+		// falling back to MOCUS cut sets with rare-event bounds beyond it.
+		out, _, err := guard.RunChain(env.ctx, rec, "faulttree",
+			guard.Step[[]Result]{Name: "bdd", Run: func(_ context.Context, arec obs.Recorder) ([]Result, error) {
+				tree, err := faulttree.NewWithBudget(node, spec.BDDBudget)
+				if err != nil {
+					return nil, err
+				}
+				return faultTreeMeasures(spec, tree, arec, env)
+			}},
+			guard.Step[[]Result]{Name: "mocus-bounds", Run: func(_ context.Context, arec obs.Recorder) ([]Result, error) {
+				tree, err := faulttree.NewCutSetsOnly(node)
+				if err != nil {
+					return nil, err
+				}
+				return faultTreeBoundMeasures(spec, tree, arec, env)
+			}},
+		)
+		return out, err
+	}
 	tree, err := faulttree.New(node)
 	if err != nil {
 		return nil, err
 	}
+	return faultTreeMeasures(spec, tree, rec, env)
+}
+
+// faultTreeMeasures evaluates the requested measures on a BDD-compiled
+// tree.
+func faultTreeMeasures(spec *FaultTreeSpec, tree *faulttree.Tree, rec obs.Recorder, env solveEnv) ([]Result, error) {
 	if rec.Enabled() {
 		st := tree.BDDStats()
 		rec.Set(obs.S("solver", "bdd"), obs.I("events", len(spec.Events)),
@@ -279,6 +359,9 @@ func solveFaultTree(spec *FaultTreeSpec, rec obs.Recorder) ([]Result, error) {
 		case "top":
 			v, err := tree.TopStatic()
 			if err != nil {
+				return nil, err
+			}
+			if err := env.rails.CheckUnitInterval("faulttree.top", v); err != nil {
 				return nil, err
 			}
 			out = append(out, Result{Measure: meas, Value: v})
@@ -310,15 +393,61 @@ func solveFaultTree(spec *FaultTreeSpec, rec obs.Recorder) ([]Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := env.rails.CheckUnitInterval("faulttree.topAt", v); err != nil {
+				return nil, err
+			}
 			out = append(out, Result{Measure: meas, Value: v})
 		case "mttf":
 			v, err := tree.MTTF()
 			if err != nil {
 				return nil, err
 			}
+			if err := env.rails.CheckFiniteScalar("faulttree.mttf", v); err != nil {
+				return nil, err
+			}
 			out = append(out, Result{Measure: meas, Value: v})
 		default:
 			return nil, fmt.Errorf("%w: unknown faulttree measure %q", ErrBadSpec, meas)
+		}
+		sp.End()
+	}
+	return out, nil
+}
+
+// faultTreeBoundMeasures evaluates the measures a cut-sets-only tree can
+// support: exact probabilities are replaced by the rare-event upper bound,
+// computed in log space so heavily redundant cuts do not underflow. The
+// BDD-only measures (importance, topAt, mttf) fail with a structural error
+// rather than silently degrading.
+func faultTreeBoundMeasures(spec *FaultTreeSpec, tree *faulttree.Tree, rec obs.Recorder, env solveEnv) ([]Result, error) {
+	cuts, err := tree.CutSets()
+	if err != nil {
+		return nil, err
+	}
+	if rec.Enabled() {
+		rec.Set(obs.S("solver", "mocus-bounds"), obs.I("events", len(spec.Events)),
+			obs.I("mincuts", len(cuts)), obs.S("approx", "rare-event-bound"))
+	}
+	var out []Result
+	for _, meas := range spec.Measures {
+		sp := measureSpan(rec, meas)
+		switch meas {
+		case "top", "rare-event":
+			lb, err := tree.RareEventBoundLog()
+			if err != nil {
+				return nil, err
+			}
+			v := math.Exp(lb)
+			if err := env.rails.CheckUnitInterval("faulttree.bound."+meas, v); err != nil {
+				return nil, err
+			}
+			sp.Set(obs.S("approx", "rare-event-bound"), obs.F("log_bound", lb))
+			out = append(out, Result{Measure: meas, Value: v})
+		case "mincuts":
+			sp.Set(obs.I("mincuts", len(cuts)))
+			out = append(out, Result{Measure: meas, Sets: cuts})
+		default:
+			return nil, fmt.Errorf("%w: measure %q needs an exact BDD; raise bddBudget or drop the measure", ErrBadSpec, meas)
 		}
 		sp.End()
 	}
@@ -361,7 +490,7 @@ func buildGate(g *GateSpec, pool map[string]*faulttree.Event) (*faulttree.Node, 
 	}
 }
 
-func solveCTMC(spec *CTMCSpec, rec obs.Recorder) ([]Result, error) {
+func solveCTMC(spec *CTMCSpec, rec obs.Recorder, env solveEnv) ([]Result, error) {
 	c := markov.NewCTMC()
 	for _, tr := range spec.Transitions {
 		if err := c.AddRate(tr.From, tr.To, tr.Rate); err != nil {
@@ -373,9 +502,14 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder) ([]Result, error) {
 	}
 	ssOpts := func(sp obs.Recorder) markov.SteadyStateOptions {
 		return markov.SteadyStateOptions{
-			Method:   spec.Solver,
-			SOR:      linalg.SOROptions{Tol: spec.SolverTol, MaxIter: spec.SolverMaxIter},
+			Method: spec.Solver,
+			SOR: linalg.SOROptions{
+				Tol:     spec.SolverTol,
+				MaxIter: spec.SolverMaxIter,
+				Omega:   spec.SolverOmega,
+			},
 			Recorder: sp,
+			Ctx:      env.ctx,
 		}
 	}
 	var out []Result
@@ -387,6 +521,13 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder) ([]Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			probs := make([]float64, 0, len(pi))
+			for _, v := range pi {
+				probs = append(probs, v)
+			}
+			if err := env.rails.CheckProbVector("ctmc.steadystate", probs); err != nil {
+				return nil, err
+			}
 			out = append(out, Result{Measure: meas, Detail: pi})
 		case "availability":
 			if len(spec.UpStates) == 0 {
@@ -396,8 +537,14 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder) ([]Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := env.rails.CheckProbVector("ctmc.availability", pi); err != nil {
+				return nil, err
+			}
 			v, err := c.ProbSum(pi, spec.UpStates...)
 			if err != nil {
+				return nil, err
+			}
+			if err := env.rails.CheckUnitInterval("ctmc.availability", v); err != nil {
 				return nil, err
 			}
 			out = append(out, Result{Measure: meas, Value: v})
@@ -409,8 +556,11 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder) ([]Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, err := c.Transient(spec.Time, p0, markov.TransientOptions{Recorder: sp})
+			p, err := c.Transient(spec.Time, p0, markov.TransientOptions{Recorder: sp, Ctx: env.ctx})
 			if err != nil {
+				return nil, err
+			}
+			if err := env.rails.CheckProbVector("ctmc.transient", p); err != nil {
 				return nil, err
 			}
 			detail := make(map[string]float64, len(p))
@@ -424,6 +574,9 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder) ([]Result, error) {
 			}
 			v, err := c.MTTF(spec.Initial, spec.Absorbing...)
 			if err != nil {
+				return nil, err
+			}
+			if err := env.rails.CheckFiniteScalar("ctmc.mtta", v); err != nil {
 				return nil, err
 			}
 			out = append(out, Result{Measure: meas, Value: v})

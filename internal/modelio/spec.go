@@ -126,6 +126,12 @@ type FaultTreeSpec struct {
 	Measures []string `json:"measures"`
 	// Time is the mission time for "topAt".
 	Time float64 `json:"time,omitempty"`
+	// BDDBudget caps the top-event BDD at that many internal nodes. When
+	// the compile exceeds it, the solve falls back to MOCUS cut-set
+	// enumeration with rare-event bounds instead of exact probabilities
+	// (the Boeing path); both attempts appear in the trace. 0 disables the
+	// budget.
+	BDDBudget int `json:"bddBudget,omitempty"`
 }
 
 // FTEvent is one named basic event. Prob drives the static measures
@@ -166,12 +172,16 @@ type CTMCSpec struct {
 	// Time is the horizon for "transient".
 	Time float64 `json:"time,omitempty"`
 	// Solver selects the steady-state method: "auto" (default), "gth",
-	// or "sor".
+	// "sor", or "chain" (SOR escalating to exact GTH on convergence
+	// failure, with both attempts recorded in the trace).
 	Solver string `json:"solver,omitempty"`
 	// SolverTol overrides the iterative solver's convergence tolerance.
 	SolverTol float64 `json:"solverTol,omitempty"`
 	// SolverMaxIter overrides the iterative solver's sweep budget.
 	SolverMaxIter int `json:"solverMaxIter,omitempty"`
+	// SolverOmega overrides the SOR relaxation factor (must lie in (0,2);
+	// 0 means the solver default).
+	SolverOmega float64 `json:"solverOmega,omitempty"`
 }
 
 // CTMCTransition is one rate entry.

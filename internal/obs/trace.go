@@ -165,6 +165,30 @@ func (t *Trace) finishLocked() {
 // Root returns the root span without finalizing open spans.
 func (t *Trace) Root() *Span { return t.root }
 
+// OpenPath returns the names of the currently open span chain (outermost
+// first), following the deepest open child at each level. It is what a
+// panic-recovery boundary attaches to an internal error so the failure
+// names the solver that was running.
+func (t *Trace) OpenPath() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return openPathFrom(t.root)
+}
+
+func openPathFrom(s *Span) []string {
+	if s == nil || !s.open {
+		return nil
+	}
+	path := []string{s.Name}
+	// The most recently opened child that is still open is the active one.
+	for i := len(s.Children) - 1; i >= 0; i-- {
+		if sub := openPathFrom(s.Children[i]); sub != nil {
+			return append(path, sub...)
+		}
+	}
+	return path
+}
+
 // --- Recorder implementation (scoped at the root span) ---
 
 // Enabled implements Recorder.
@@ -245,6 +269,10 @@ func (r *spanRec) Set(attrs ...Attr)     { r.t.setAttrs(r.s, attrs) }
 func (r *spanRec) IterLabel(n int, d float64, label string) {
 	r.t.addIter(r.s, n, d, label)
 }
+
+// OpenPath reports the open span chain from the trace root through (and
+// below) this recorder's span. See Trace.OpenPath.
+func (r *spanRec) OpenPath() []string { return r.t.OpenPath() }
 
 // --- export ---
 

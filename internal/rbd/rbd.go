@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/dist"
+	"repro/internal/guard"
 	"repro/internal/linalg"
 )
 
@@ -325,6 +326,32 @@ func (m *Model) MinimalCutSets() [][]string {
 // functioning keeps the system up.
 func (m *Model) MinimalPathSets() [][]string {
 	return m.nameSets(m.mgr.MinimalCutSets(m.success))
+}
+
+// UnreliabilityBoundLogAt returns the natural log of the rare-event upper
+// bound on system unreliability at mission time t, computed from the
+// minimal cut sets entirely in log space. For highly redundant systems the
+// per-cut product (e.g. five 1e-80 component unreliabilities) underflows
+// float64 — the linear-domain bound degenerates to 0 while the log-space
+// bound stays informative.
+func (m *Model) UnreliabilityBoundLogAt(t float64) (float64, error) {
+	if t < 0 || math.IsNaN(t) {
+		return 0, fmt.Errorf("rbd: bad mission time %g", t)
+	}
+	cuts := m.dualMgr.MinimalCutSets(m.failure)
+	logs := make([]float64, len(cuts))
+	for i, c := range cuts {
+		ps := make([]float64, len(c))
+		for j, v := range c {
+			ps[j] = m.comps[v].Lifetime.CDF(t)
+		}
+		lc, err := guard.LogCutProb(ps)
+		if err != nil {
+			return 0, fmt.Errorf("rbd: cut %d: %w", i, err)
+		}
+		logs[i] = lc
+	}
+	return guard.LogRareEvent(logs), nil
 }
 
 func (m *Model) nameSets(cuts []bdd.CutSet) [][]string {

@@ -156,7 +156,7 @@ func factor(w *workGraph) float64 {
 // reduce applies parallel and series reductions and drops dangling edges
 // until a fixed point.
 func reduce(w *workGraph) *workGraph {
-	for {
+	for { //numvet:allow unbounded-loop each pass strictly shrinks the edge set or exits via !changed
 		changed := false
 		// Parallel reduction: merge duplicate (u,v) pairs.
 		type key struct{ a, b int }

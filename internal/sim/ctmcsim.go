@@ -52,7 +52,7 @@ func NewCTMCPathSimulator(c *markov.CTMC) (*CTMCPathSimulator, error) {
 func (s *CTMCPathSimulator) stateAt(rng *rand.Rand, from int, t float64) int {
 	now := 0.0
 	state := from
-	for {
+	for { //numvet:allow unbounded-loop sojourn times are a.s. positive, so `now` passes any finite t
 		total := s.totals[state]
 		if total == 0 { //numvet:allow float-eq exactly-zero total rate marks an absorbing state
 			return state // absorbing

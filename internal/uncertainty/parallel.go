@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"repro/internal/guard"
 )
 
 // PropagateParallel is Propagate with the model evaluations fanned out
@@ -85,10 +87,12 @@ func PropagateParallel(ctx context.Context, model Model, params []Param, opts Op
 			}
 		}()
 	}
+	fed := 0
 feed:
 	for s := 0; s < n; s++ {
 		select {
 		case jobs <- job{index: s}:
+			fed++
 		case <-ctx.Done():
 			break feed
 		}
@@ -98,8 +102,8 @@ feed:
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("uncertainty: %w", err)
+	if err := guard.Ctx(ctx, "uncertainty.propagate", fed, math.NaN()); err != nil {
+		return nil, err
 	}
 
 	res := &Result{Samples: outputs, N: n}

@@ -10,6 +10,7 @@
 package uncertainty
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/dist"
+	"repro/internal/guard"
 )
 
 // Param is one uncertain model input.
@@ -81,6 +83,10 @@ type Options struct {
 	Samples int
 	// LatinHypercube selects LHS instead of independent sampling.
 	LatinHypercube bool
+	// Ctx interrupts the sweep between model evaluations; nil never
+	// interrupts. An interrupted sweep returns a *guard.InterruptError
+	// whose iteration count is the number of completed evaluations.
+	Ctx context.Context
 }
 
 // Propagate samples the parameters, evaluates the model per sample, and
@@ -114,6 +120,9 @@ func Propagate(model Model, params []Param, opts Options, rng *rand.Rand) (*Resu
 	var sum, sum2 float64
 	assign := make(map[string]float64, len(params))
 	for s := 0; s < n; s++ {
+		if err := guard.Ctx(opts.Ctx, "uncertainty.propagate", s, math.NaN()); err != nil {
+			return nil, err
+		}
 		for j, p := range params {
 			assign[p.Name] = draws[j][s]
 		}

@@ -1,12 +1,14 @@
 package uncertainty
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/guard"
 	"repro/internal/markov"
 )
 
@@ -166,5 +168,40 @@ func TestPropagateValidation(t *testing.T) {
 	failing := func(map[string]float64) (float64, error) { return 0, boom }
 	if _, err := Propagate(failing, okParam, Options{Samples: 3}, rng); !errors.Is(err, boom) {
 		t.Errorf("model error not propagated: %v", err)
+	}
+}
+
+func TestPropagateCancellation(t *testing.T) {
+	u, err := dist.NewUniform(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	rng := rand.New(rand.NewSource(1))
+	_, err = Propagate(
+		func(p map[string]float64) (float64, error) {
+			evals++
+			if evals == 10 {
+				cancel()
+			}
+			return p["u"], nil
+		},
+		[]Param{{Name: "u", Dist: u}},
+		Options{Samples: 100000, Ctx: ctx},
+		rng,
+	)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v does not match guard.ErrCanceled", err)
+	}
+	var ie *guard.InterruptError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v does not unwrap to *guard.InterruptError", err)
+	}
+	if ie.Iterations < 10 || ie.Iterations > 11 {
+		t.Errorf("interrupt after %d evaluations, want ~10", ie.Iterations)
+	}
+	if evals > 11 {
+		t.Errorf("sweep kept evaluating after cancellation: %d evals", evals)
 	}
 }

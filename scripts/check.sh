@@ -22,10 +22,23 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== fallback-chain race stress"
+go test -race -run='^TestChainStressRace$' -count=4 ./internal/guard/
+
 echo "== bench smoke"
 go test -bench=. -benchtime=1x -run='^$' ./...
 
 echo "== numvet"
 go run ./cmd/numvet ./internal/...
+
+# Fuzz smoke is opt-in (CHECK_FUZZ=1): ten seconds per target over the
+# modelio JSON parser, seeded from models/*.json. Go allows one -fuzz
+# target per invocation, hence the loop.
+if [[ "${CHECK_FUZZ:-0}" == "1" ]]; then
+    for target in FuzzLoadDocument FuzzLint; do
+        echo "== fuzz smoke: $target"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime=10s ./internal/modelio/
+    done
+fi
 
 echo "all checks passed"
