@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	experiments                  # run everything, refresh BENCH_solvers.json
-//	experiments -bench out.json  # write the solver-telemetry records there
-//	experiments -bench ""        # skip the telemetry file
+//	experiments                  # run everything
+//	experiments -bench out.json  # also write the solver-telemetry records there
 //	experiments -run E4          # run one experiment
 //	experiments -list            # list experiment IDs and titles
 //
-// When running the full suite, each experiment executes under a solver
-// trace (see internal/obs) and a per-experiment summary — dominant
-// solver, iteration count, wall time — is serialized to the -bench path.
+// With -bench, each experiment executes under a solver trace (see
+// internal/obs) and a per-experiment summary — dominant solver,
+// iteration count, wall time — is serialized to the given path. The
+// committed BENCH_solvers.json trajectory file is owned by cmd/relbench,
+// which aggregates several runs into stable statistics; regenerate it
+// with `go run ./cmd/relbench -runs 3 -out BENCH_solvers.json`.
 package main
 
 import (
@@ -37,7 +39,7 @@ func run(args []string, stdout io.Writer) error {
 	only := fs.String("run", "", "run a single experiment by ID (e.g. E3)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of an aligned table (with -run)")
-	benchPath := fs.String("bench", "BENCH_solvers.json", "write per-experiment solver telemetry to this file when running everything (empty disables)")
+	benchPath := fs.String("bench", "", "write per-experiment solver telemetry to this file when running everything (see cmd/relbench for the committed baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -1,0 +1,94 @@
+// Command relbench tracks solver performance across the experiment
+// suite E1–E13. It runs every experiment N times, folds the wall times
+// into stable statistics (median and p95 per experiment), optionally
+// writes the records to a JSON file, and optionally compares them
+// against a committed baseline with a tolerance band — exiting nonzero
+// when an experiment regressed.
+//
+// Usage:
+//
+//	relbench -runs 3 -out BENCH_solvers.json     # refresh the committed baseline
+//	relbench -compare                            # run once, compare against BENCH_solvers.json
+//	relbench -compare -factor 10 -slack-ms 250   # CI smoke with a wide band
+//	relbench -compare -replay current.json       # compare a saved run, no re-run
+//
+// The tolerance band flags an experiment only when its wall time
+// exceeds the baseline by BOTH the multiplicative factor and the
+// absolute slack; dominant-solver changes and iteration growth are
+// deterministic and flagged outright. See internal/bench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("relbench", flag.ContinueOnError)
+	runs := fs.Int("runs", 1, "full suite runs to aggregate (median/p95 across runs)")
+	out := fs.String("out", "", "write the aggregated records to this file")
+	baseline := fs.String("baseline", "BENCH_solvers.json", "baseline records file for -compare")
+	compare := fs.Bool("compare", false, "compare against -baseline and fail on regression")
+	replay := fs.String("replay", "", "compare this saved records file instead of running the suite")
+	factor := fs.Float64("factor", 0, "wall-time slowdown factor tolerated (0 = default band)")
+	slack := fs.Float64("slack-ms", 0, "absolute wall-time slack in ms (0 = default band)")
+	tables := fs.Bool("tables", false, "also print each experiment's result table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var entries []experiments.BenchEntry
+	var err error
+	if *replay != "" {
+		entries, err = bench.Load(*replay)
+	} else {
+		sink := io.Discard
+		if *tables {
+			sink = stdout
+		}
+		entries, err = bench.Collect(*runs, sink)
+	}
+	if err != nil {
+		return err
+	}
+
+	for _, e := range entries {
+		fmt.Fprintf(stdout, "%-4s %-16s wall=%.3fms p95=%.3fms iters=%d\n",
+			e.ID, e.Solver, e.WallMS, e.WallMSP95, e.Iterations)
+	}
+	if *out != "" {
+		if err := bench.Write(*out, entries); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d experiments, %d run(s))\n", *out, len(entries), *runs)
+	}
+	if !*compare {
+		return nil
+	}
+
+	base, err := bench.Load(*baseline)
+	if err != nil {
+		return err
+	}
+	regs := bench.Compare(entries, base, bench.Tolerance{WallFactor: *factor, SlackMS: *slack})
+	for _, r := range regs {
+		fmt.Fprintln(stdout, "regression:", r)
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("%d regression(s) against %s", len(regs), *baseline)
+	}
+	fmt.Fprintf(stdout, "relbench: %d experiments within tolerance of %s\n", len(entries), *baseline)
+	return nil
+}

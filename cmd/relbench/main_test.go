@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func writeRecords(t *testing.T, name string, entries []experiments.BenchEntry) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := bench.Write(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareExitsNonzeroOnInjectedSlowdown is the acceptance lock for
+// the regression gate: a records file whose wall times are 10x the
+// baseline must fail the compare, and the identical file must pass.
+// Replay mode keeps the test deterministic — no experiments run.
+func TestCompareExitsNonzeroOnInjectedSlowdown(t *testing.T) {
+	baseline := []experiments.BenchEntry{
+		{ID: "E1", Solver: "bdd", WallMS: 200},
+		{ID: "E3", Solver: "sor", Iterations: 52, WallMS: 22},
+	}
+	slowed := []experiments.BenchEntry{
+		{ID: "E1", Solver: "bdd", WallMS: 2000},
+		{ID: "E3", Solver: "sor", Iterations: 52, WallMS: 220},
+	}
+	basePath := writeRecords(t, "baseline.json", baseline)
+	slowPath := writeRecords(t, "slowed.json", slowed)
+
+	var out bytes.Buffer
+	err := run([]string{"-compare", "-replay", slowPath, "-baseline", basePath}, &out)
+	if err == nil {
+		t.Fatalf("10x slowdown passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "regression: E1") {
+		t.Errorf("E1 regression not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	samePath := writeRecords(t, "same.json", baseline)
+	if err := run([]string{"-compare", "-replay", samePath, "-baseline", basePath}, &out); err != nil {
+		t.Fatalf("identical records failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within tolerance") {
+		t.Errorf("clean compare did not report success:\n%s", out.String())
+	}
+}
+
+func TestCompareAgainstCommittedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	// The wide band mirrors the scripts/check.sh smoke: machines differ,
+	// but the committed baseline should never be 10x+250ms away.
+	var out bytes.Buffer
+	err := run([]string{
+		"-compare",
+		"-baseline", filepath.Join("..", "..", "BENCH_solvers.json"),
+		"-factor", "10", "-slack-ms", "250",
+	}, &out)
+	if err != nil {
+		t.Fatalf("committed baseline failed the gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestOutWritesAggregatedRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-runs", "1", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := bench.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 13 {
+		t.Fatalf("wrote %d entries, want >= 13", len(entries))
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing write confirmation:\n%s", out.String())
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-compare", "-replay", "no-such-file.json"}, &out); err == nil {
+		t.Error("missing replay file did not error")
+	}
+	if err := run([]string{"-compare", "-replay", "no-such.json", "-baseline", "also-missing.json"}, &out); err == nil {
+		t.Error("missing baseline did not error")
+	}
+}

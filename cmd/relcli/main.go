@@ -5,6 +5,8 @@
 //	relcli [solve] -model system.json [-json] [-preflight]
 //	relcli solve [-trace] [-trace-json] [-metrics] [-pprof addr] model.json
 //	relcli solve [-timeout 30s] [-rails strict|warn|off] model.json
+//	relcli solve [-log text|json] [-log-level debug] model.json
+//	relcli serve [-addr 127.0.0.1:8080] [-log json] [-max-inflight 8] [-timeout 30s]
 //	cat system.json | relcli [-json]
 //	relcli lint [-json] model.json [model.json ...]
 //
@@ -17,9 +19,19 @@
 // observability flags hang off it: -trace prints an indented solver span
 // tree to stderr, -trace-json replaces the stdout report with a JSON
 // document {"results": …, "trace": …} carrying the nested spans and
-// per-iteration residuals, -metrics prints a one-line trace summary to
-// stderr, and -pprof addr serves net/http/pprof and expvar for the
-// duration of the solve.
+// per-iteration residuals, -metrics prints a one-line trace summary plus
+// the relscope metric registry in Prometheus text format to stderr, -log
+// emits structured slog events per span (and per iteration at -log-level
+// debug), and -pprof addr serves net/http/pprof, expvar, and /metrics for
+// the duration of the solve.
+//
+// The serve subcommand turns the same pipeline into a long-running HTTP
+// service: POST /solve takes a model document and returns {model,
+// results} (add ?trace=1 for the span tree), GET /metrics exposes the
+// relscope registry for scraping, GET /healthz is a liveness probe, and
+// /debug/pprof/ plus /debug/vars mirror the standalone debug server. It
+// drains gracefully on SIGINT/SIGTERM; solves still running after -grace
+// are canceled through the guard context plumbing.
 //
 // The lint subcommand statically checks model documents without solving
 // them, printing one diagnostic per line; it exits nonzero when any
@@ -37,6 +49,7 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/lint"
+	"repro/internal/metrics"
 	"repro/internal/modelio"
 	"repro/internal/obs"
 )
@@ -55,6 +68,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "lint" {
 		return runLint(args[1:], stdin, stdout)
 	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout)
+	}
 	if len(args) > 0 && args[0] == "solve" {
 		args = args[1:]
 	}
@@ -65,10 +81,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	preflight := fs.Bool("preflight", false, "lint the model and refuse to solve on errors")
 	traceText := fs.Bool("trace", false, "print the solver span tree to stderr")
 	traceJSON := fs.Bool("trace-json", false, "emit {results, trace} as JSON on stdout")
-	metrics := fs.Bool("metrics", false, "print a one-line trace summary to stderr")
+	metricsFlag := fs.Bool("metrics", false, "print a trace summary and the relscope metric registry (Prometheus text) to stderr")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address while solving")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 disables)")
 	rails := fs.String("rails", "", "numerical guard-rail strictness: strict, warn (default), or off")
+	logFormat := fs.String("log", "", "emit structured solve logs on stderr: text or json")
+	logLevel := fs.String("log-level", "info", "log level for -log (debug adds per-iteration convergence events)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,15 +122,30 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Timeout:   *timeout,
 		Rails:     guard.Strictness(*rails),
 	}
-	var tr *obs.Trace
-	if *traceText || *traceJSON || *metrics {
-		rootName := spec.Name
-		if rootName == "" {
-			rootName = "solve"
-		}
-		tr = obs.NewTrace(rootName)
-		opts.Recorder = tr
+	rootName := spec.Name
+	if rootName == "" {
+		rootName = "solve"
 	}
+	var tr *obs.Trace
+	var recs []obs.Recorder
+	if *traceText || *traceJSON || *metricsFlag {
+		tr = obs.NewTrace(rootName)
+		recs = append(recs, tr)
+	}
+	if *metricsFlag {
+		// The same registry backs /metrics in relcli serve and the debug
+		// server, so the one-shot dump and the scrape endpoint share both
+		// the numbers and the formatting path.
+		recs = append(recs, obs.NewMetricsRecorder(metrics.Default(), rootName))
+	}
+	if *logFormat != "" {
+		logger, err := newSlogLogger(*logFormat, *logLevel, stderr)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, obs.NewSlogRecorder(logger))
+	}
+	opts.Recorder = obs.Multi(recs...)
 	results, err := modelio.SolveWithOptions(spec, opts)
 	if tr != nil {
 		// Emit whatever was traced even when the solve failed — the partial
@@ -122,10 +155,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				return werr
 			}
 		}
-		if *metrics {
+		if *metricsFlag {
 			s := tr.Summary()
 			fmt.Fprintf(stderr, "relcli: spans=%d iterations=%d wall=%s solver=%s\n",
 				s.Spans, s.Iterations, time.Duration(s.WallNS), s.Solver)
+			if werr := metrics.Default().WritePrometheus(stderr); werr != nil {
+				return werr
+			}
 		}
 	}
 	if err != nil {

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/lint"
+	"repro/internal/metrics"
+	"repro/internal/modelio"
+	"repro/internal/obs"
+)
+
+// maxSolveBody bounds the accepted model-document size; anything larger
+// is a hostile or mistaken upload, not a reliability model.
+const maxSolveBody = 8 << 20
+
+// serveConfig wires a solve service together; split from the flag
+// parsing so tests can build handlers directly.
+type serveConfig struct {
+	// Registry receives request and solver metrics and backs /metrics.
+	Registry *metrics.Registry
+	// Logger receives structured request and solve events (nil disables).
+	Logger *slog.Logger
+	// MaxInflight bounds concurrent solves; excess requests get 503.
+	MaxInflight int
+	// SolveTimeout bounds each solve (0 disables).
+	SolveTimeout time.Duration
+	// Rails and Preflight mirror the solve-subcommand flags.
+	Rails     guard.Strictness
+	Preflight bool
+}
+
+// solveServer is the long-running HTTP solve service behind
+// `relcli serve`.
+type solveServer struct {
+	cfg serveConfig
+	sem chan struct{}
+
+	requests *metrics.Counter
+	latency  *metrics.Histogram
+	inflight *metrics.Gauge
+}
+
+// newServeMux builds the service routes: POST /solve, GET /healthz, and
+// the obs debug surface (/metrics, /debug/vars, /debug/pprof/).
+func newServeMux(cfg serveConfig) *http.ServeMux {
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.Default()
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 8
+	}
+	s := &solveServer{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInflight),
+		requests: cfg.Registry.NewCounter("relscope_solve_requests_total",
+			"Solve requests handled, by HTTP status code.", "code"),
+		latency: cfg.Registry.NewHistogram("relscope_http_request_seconds",
+			"Request latency by route.", nil, "route"),
+		inflight: cfg.Registry.NewGauge("relscope_solve_inflight",
+			"Solve requests currently executing."),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	obs.RegisterDebug(mux, cfg.Registry)
+	return mux
+}
+
+func (s *solveServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// solveResponse is the POST /solve reply document.
+type solveResponse struct {
+	Model   string           `json:"model,omitempty"`
+	Results []modelio.Result `json:"results,omitempty"`
+	Trace   *obs.Span        `json:"trace,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// handleSolve runs one model document through the instrumented solve
+// pipeline. The request context is threaded into the solver via the
+// guard plumbing, so a disconnecting client (or server shutdown closing
+// the connection) cancels the solve at iteration granularity.
+func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := http.StatusOK
+	defer func() {
+		s.requests.Inc(strconv.Itoa(code))
+		s.latency.Observe(time.Since(start).Seconds(), "/solve")
+	}()
+
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+	default:
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+		s.reply(w, code, solveResponse{Error: "solve capacity exhausted; retry"})
+		return
+	}
+
+	spec, err := modelio.Parse(io.LimitReader(r.Body, maxSolveBody))
+	if err != nil {
+		code = http.StatusBadRequest
+		s.reply(w, code, solveResponse{Error: err.Error()})
+		return
+	}
+
+	var tr *obs.Trace
+	recs := []obs.Recorder{obs.NewMetricsRecorder(s.cfg.Registry, spec.Name)}
+	if r.URL.Query().Get("trace") != "" {
+		tr = obs.NewTrace(rootName(spec))
+		recs = append(recs, tr)
+	}
+	if s.cfg.Logger != nil {
+		recs = append(recs, obs.NewSlogRecorder(s.cfg.Logger))
+	}
+	results, err := modelio.SolveWithOptions(spec, modelio.SolveOptions{
+		Preflight: s.cfg.Preflight,
+		Recorder:  obs.Multi(recs...),
+		Context:   r.Context(),
+		Timeout:   s.cfg.SolveTimeout,
+		Rails:     s.cfg.Rails,
+	})
+	resp := solveResponse{Model: spec.Name, Results: results}
+	if tr != nil {
+		resp.Trace = tr.Finish()
+	}
+	if err != nil {
+		code = solveErrorStatus(err)
+		resp.Error = err.Error()
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("solve request",
+			"model", spec.Name, "type", spec.Type, "status", code,
+			"wall_ms", float64(time.Since(start).Nanoseconds())/1e6,
+			"remote", r.RemoteAddr)
+	}
+	s.reply(w, code, resp)
+}
+
+// solveErrorStatus maps the typed solve-failure taxonomy onto HTTP.
+func solveErrorStatus(err error) int {
+	var lerr *lint.Error
+	switch {
+	case errors.Is(err, guard.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, guard.ErrCanceled):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &lerr), errors.Is(err, modelio.ErrBadSpec):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *solveServer) reply(w http.ResponseWriter, code int, resp solveResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("response write failed", "err", err)
+	}
+}
+
+// rootName labels a request-scoped trace.
+func rootName(spec *modelio.Spec) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	return "solve"
+}
+
+// newSlogLogger builds the -log handler: format "text" or "json", level
+// "debug" (includes per-iteration convergence events), "info", "warn",
+// or "error".
+func newSlogLogger(format, level string, w io.Writer) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("relcli: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("relcli: unknown log format %q (want text or json)", format)
+}
+
+// runServe implements the serve subcommand: bind, announce, serve until
+// SIGINT/SIGTERM, then drain gracefully — in-flight solves get the grace
+// period, after which closing the connections cancels them through the
+// guard context plumbing.
+func runServe(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("relcli serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
+	logFormat := fs.String("log", "", "structured request/solve logs on stderr: text or json")
+	logLevel := fs.String("log-level", "info", "log level for -log (debug adds per-iteration events)")
+	maxInflight := fs.Int("max-inflight", 8, "maximum concurrent solves; excess requests get 503")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-solve deadline (0 disables)")
+	rails := fs.String("rails", "", "numerical guard-rail strictness: strict, warn (default), or off")
+	preflight := fs.Bool("preflight", false, "lint each model and refuse to solve on errors")
+	grace := fs.Duration("grace", 5*time.Second, "shutdown drain period before in-flight solves are canceled")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := guard.ParseStrictness(*rails); err != nil {
+		return err
+	}
+	var logger *slog.Logger
+	if *logFormat != "" {
+		var err error
+		if logger, err = newSlogLogger(*logFormat, *logLevel, stderr); err != nil {
+			return err
+		}
+	}
+	mux := newServeMux(serveConfig{
+		Registry:     metrics.Default(),
+		Logger:       logger,
+		MaxInflight:  *maxInflight,
+		SolveTimeout: *timeout,
+		Rails:        guard.Strictness(*rails),
+		Preflight:    *preflight,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "relcli: serving on http://%s (POST /solve, /metrics, /healthz, /debug/pprof/)\n",
+		ln.Addr())
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Grace expired with solves still running: close the connections,
+		// which cancels their request contexts and interrupts the solvers.
+		return srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// postModel POSTs a bundled model file at the handler and returns the
+// recorder.
+func postModel(t *testing.T, h http.Handler, path, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/solve"+query, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// sampleRE scrubs the numeric value of an exposition sample line so the
+// golden locks schema (families, label sets, bucket bounds) rather than
+// timing-dependent numbers.
+var sampleRE = regexp.MustCompile(`(?m)^([^#].*) \S+$`)
+
+func scrubSamples(s string) string {
+	return sampleRE.ReplaceAllString(s, "$1 V")
+}
+
+// TestServeSolveAndMetricsGolden is the acceptance lock for relcli
+// serve: POST /solve answers for models/repairfarm.json (pinned SOR) and
+// models/loadbalancer.json (fallback chain), and /metrics then exposes
+// the request counter, the per-solver wall-time histograms, and the
+// guard/fallback counters. The scrubbed exposition output is golden.
+func TestServeSolveAndMetricsGolden(t *testing.T) {
+	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry(), MaxInflight: 2})
+
+	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /solve repairfarm: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Model   string `json:"model"`
+		Results []struct {
+			Measure string  `json:"measure"`
+			Value   float64 `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("solve response is not JSON: %v\n%s", err, w.Body.String())
+	}
+	avail := -1.0
+	for _, r := range resp.Results {
+		if r.Measure == "availability" {
+			avail = r.Value
+		}
+	}
+	if avail < 0.9 || avail > 1 {
+		t.Errorf("repairfarm availability = %g, want in (0.9, 1]", avail)
+	}
+
+	w = postModel(t, mux, filepath.Join("..", "..", "models", "loadbalancer.json"), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /solve loadbalancer: status %d: %s", w.Code, w.Body.String())
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mw := httptest.NewRecorder()
+	mux.ServeHTTP(mw, req)
+	if mw.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", mw.Code)
+	}
+	if ct := mw.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	got := scrubSamples(mw.Body.String())
+
+	golden := filepath.Join("testdata", "serve_metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("/metrics drifted from %s; rerun with -update if intended.\ngot:\n%s", golden, got)
+	}
+
+	// The acceptance criteria spelled out, independent of the golden file.
+	for _, want := range []string{
+		`relscope_solve_requests_total{code="200"} `,
+		`relscope_solver_wall_seconds_bucket{solver="sor",model="machine repair farm (SOR steady state)",le="+Inf"} `,
+		`relscope_chain_attempts_total{chain="steadystate",method="sor",class="none",model="two-node load balancer (chain solver)"} `,
+		`relscope_chain_decided_total{chain="steadystate",winner="sor",model="two-node load balancer (chain solver)"} `,
+		"# TYPE relscope_guard_outcomes_total counter",
+		"# TYPE relscope_rail_warnings_total counter",
+	} {
+		if !strings.Contains(mw.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeTraceQuery checks ?trace=1 returns the request-scoped span
+// tree alongside the results.
+func TestServeTraceQuery(t *testing.T) {
+	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry()})
+	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "?trace=1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Trace *struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || len(resp.Trace.Children) == 0 || resp.Trace.Children[0].Name != "modelio.solve" {
+		t.Errorf("trace missing or malformed: %s", w.Body.String())
+	}
+}
+
+func TestServeRejectsBadInput(t *testing.T) {
+	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry()})
+
+	req := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader("{not json"))
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", w.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader(`{"type":"ctmc","ctmc":{"transitions":[{"from":"a","to":"b","rate":1}],"measures":["no-such-measure"]}}`))
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad measure: status %d, want 422: %s", w.Code, w.Body.String())
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/solve", nil)
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve: status %d, want 405", w.Code)
+	}
+}
+
+// TestServeTimeout pins the guard plumbing: a sub-microsecond solve
+// budget must surface as 504 with the deadline error in the body.
+func TestServeTimeout(t *testing.T) {
+	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry(), SolveTimeout: time.Nanosecond})
+	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "deadline") {
+		t.Errorf("body does not name the deadline: %s", w.Body.String())
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry()})
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Errorf("healthz: %d %q", w.Code, w.Body.String())
+	}
+}
+
+// TestServeStructuredLogs checks the slog bridge rides along on solve
+// requests: one span event per solver span plus the request summary.
+func TestServeStructuredLogs(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger, err := newSlogLogger("json", "info", &logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry(), Logger: logger})
+	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"msg":"solve request"`) {
+		t.Errorf("missing request event:\n%s", logs)
+	}
+	if !strings.Contains(logs, `"span":"modelio.solve"`) || !strings.Contains(logs, `"solver":"sor"`) {
+		t.Errorf("missing span events:\n%s", logs)
+	}
+}

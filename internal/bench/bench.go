@@ -1,0 +1,185 @@
+// Package bench turns the experiment suite's solver telemetry into a
+// performance-regression gate. Collect runs the full suite several
+// times and folds the per-experiment wall times into stable statistics
+// (median, p95); Compare checks a fresh collection against a committed
+// baseline with a tolerance band wide enough to absorb scheduler noise
+// but tight enough to catch a genuine slowdown or a solver falling off
+// its fast path.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+// Collect runs the full experiment suite runs times, streaming the
+// result tables to w (io.Discard is the usual choice), and returns one
+// aggregated record per experiment: WallMS becomes the median across
+// runs and WallMSP95 the 95th percentile. Solver, Spans, and Iterations
+// come from the first run — the solvers are deterministic, so those do
+// not vary between runs.
+func Collect(runs int, w io.Writer) ([]experiments.BenchEntry, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var agg []experiments.BenchEntry
+	walls := make(map[string][]float64)
+	for i := 0; i < runs; i++ {
+		entries, err := experiments.RunAllWithBench(w)
+		if err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = entries
+		}
+		for _, e := range entries {
+			walls[e.ID] = append(walls[e.ID], e.WallMS)
+		}
+	}
+	for i := range agg {
+		ws := walls[agg[i].ID]
+		agg[i].WallMS = median(ws)
+		agg[i].WallMSP95 = percentile(ws, 0.95)
+		agg[i].Runs = runs
+	}
+	return agg, nil
+}
+
+// Tolerance is the band within which a wall-time difference is treated
+// as noise rather than regression.
+type Tolerance struct {
+	// WallFactor is the multiplicative slowdown tolerated before an
+	// entry is flagged; a fresh run on a loaded machine can legitimately
+	// be a few times slower than the committed baseline.
+	WallFactor float64
+	// SlackMS is the absolute slowdown that must ALSO be exceeded; it
+	// keeps sub-millisecond experiments from flagging on jitter that is
+	// large relative to their wall time but meaningless in absolute
+	// terms.
+	SlackMS float64
+}
+
+// DefaultTolerance is the band used when no explicit knobs are given:
+// flag only a >4x slowdown that also costs more than 25ms.
+func DefaultTolerance() Tolerance { return Tolerance{WallFactor: 4, SlackMS: 25} }
+
+// Regression is one tolerance-band violation found by Compare.
+type Regression struct {
+	// ID names the experiment ("E1".."E13").
+	ID string
+	// Reason says what moved and by how much.
+	Reason string
+}
+
+func (r Regression) String() string { return r.ID + ": " + r.Reason }
+
+// Compare checks current against baseline and returns one Regression
+// per violation (empty means the run is clean). Wall time is flagged
+// only when it exceeds both the multiplicative and the absolute slack;
+// iteration counts and the dominant solver are deterministic, so any
+// solver change and any iteration growth beyond the same factor are
+// flagged outright. IDs missing on either side are reported so a stale
+// baseline fails loudly instead of silently shrinking coverage.
+func Compare(current, baseline []experiments.BenchEntry, tol Tolerance) []Regression {
+	if tol.WallFactor <= 0 {
+		tol.WallFactor = DefaultTolerance().WallFactor
+	}
+	if tol.SlackMS <= 0 {
+		tol.SlackMS = DefaultTolerance().SlackMS
+	}
+	base := make(map[string]experiments.BenchEntry, len(baseline))
+	for _, b := range baseline {
+		base[b.ID] = b
+	}
+	var regs []Regression
+	seen := make(map[string]bool, len(current))
+	for _, c := range current {
+		seen[c.ID] = true
+		b, ok := base[c.ID]
+		if !ok {
+			regs = append(regs, Regression{c.ID, "not in baseline; regenerate it with relbench -out"})
+			continue
+		}
+		if b.Solver != "" && c.Solver != b.Solver {
+			regs = append(regs, Regression{c.ID,
+				fmt.Sprintf("dominant solver changed: %s -> %s", b.Solver, c.Solver)})
+		}
+		if b.Iterations > 0 && float64(c.Iterations) > float64(b.Iterations)*tol.WallFactor {
+			regs = append(regs, Regression{c.ID,
+				fmt.Sprintf("iterations grew %d -> %d (convergence regression)", b.Iterations, c.Iterations)})
+		}
+		if c.WallMS > b.WallMS*tol.WallFactor && c.WallMS-b.WallMS > tol.SlackMS {
+			regs = append(regs, Regression{c.ID,
+				fmt.Sprintf("wall %.2fms -> %.2fms exceeds the %gx + %gms band",
+					b.WallMS, c.WallMS, tol.WallFactor, tol.SlackMS)})
+		}
+	}
+	for _, b := range baseline {
+		if !seen[b.ID] {
+			regs = append(regs, Regression{b.ID, "present in baseline but missing from this run"})
+		}
+	}
+	return regs
+}
+
+// Load reads a records file written by Write (or by cmd/experiments
+// before relbench took ownership of the trajectory file).
+func Load(path string) ([]experiments.BenchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []experiments.BenchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// Write serializes the records as indented JSON, matching the format
+// the repository commits as BENCH_solvers.json.
+func Write(path string, entries []experiments.BenchEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// median returns the middle value (mean of the middle pair for even
+// counts); zero for an empty slice.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// percentile returns the nearest-rank p-quantile (p in (0,1]).
+func percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

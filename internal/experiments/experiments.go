@@ -53,8 +53,15 @@ type BenchEntry struct {
 	Spans int `json:"spans"`
 	// Iterations sums every recorded solver iteration across the run.
 	Iterations int `json:"iterations"`
-	// WallMS is the experiment's wall time in milliseconds.
+	// WallMS is the experiment's wall time in milliseconds — the median
+	// across runs when the record was aggregated by internal/bench.
 	WallMS float64 `json:"wall_ms"`
+	// WallMSP95 is the 95th-percentile wall time across aggregated runs;
+	// zero (and omitted) on single-run records.
+	WallMSP95 float64 `json:"wall_ms_p95,omitempty"`
+	// Runs is how many suite runs were folded into this record; zero
+	// (and omitted) means one unaggregated run.
+	Runs int `json:"runs,omitempty"`
 }
 
 // RunAllWithBench executes every experiment under a fresh trace, writing

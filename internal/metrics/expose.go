@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format v0.0.4. Output is deterministic: families sort by
+// name, series by label values, and HELP/TYPE lines appear even for
+// families with no series yet (so dashboards and golden tests see the
+// full schema before the first event).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// snapshotSeries returns the family's series sorted by label values.
+func (f *family) snapshotSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		cp := &series{
+			labelValues: s.labelValues,
+			val:         s.val,
+			sum:         s.sum,
+			count:       s.count,
+		}
+		if s.buckets != nil {
+			cp.buckets = append([]uint64(nil), s.buckets...)
+		}
+		out = append(out, cp)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return joinKey(out[i].labelValues) < joinKey(out[j].labelValues)
+	})
+	return out
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	if f.help != "" {
+		if _, err := w.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n"); err != nil {
+		return err
+	}
+	for _, s := range f.snapshotSeries() {
+		var err error
+		if f.kind == kindHistogram {
+			err = f.writeHistogramSeries(w, s)
+		} else {
+			err = writeSample(w, f.name, f.labels, s.labelValues, "", "", s.val)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogramSeries emits the _bucket/_sum/_count triplet for one
+// series. Bucket counts are stored cumulatively (Observe increments every
+// bucket whose bound admits the value), matching the le semantics.
+func (f *family) writeHistogramSeries(w *bufio.Writer, s *series) error {
+	for i, ub := range f.bounds {
+		if err := writeSample(w, f.name+"_bucket", f.labels, s.labelValues,
+			"le", formatFloat(ub), float64(s.buckets[i])); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, f.name+"_bucket", f.labels, s.labelValues,
+		"le", "+Inf", float64(s.count)); err != nil {
+		return err
+	}
+	if err := writeSample(w, f.name+"_sum", f.labels, s.labelValues, "", "", s.sum); err != nil {
+		return err
+	}
+	return writeSample(w, f.name+"_count", f.labels, s.labelValues, "", "", float64(s.count))
+}
+
+// writeSample emits one `name{labels} value` line. extraName/extraValue
+// append a synthetic label (the histogram le bound) after the family
+// labels.
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraName, extraValue string, v float64) error {
+	if _, err := w.WriteString(name); err != nil {
+		return err
+	}
+	if len(labels) > 0 || extraName != "" {
+		if err := w.WriteByte('{'); err != nil {
+			return err
+		}
+		for i, ln := range labels {
+			if i > 0 {
+				if err := w.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString(ln + `="` + escapeLabel(values[i]) + `"`); err != nil {
+				return err
+			}
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				if err := w.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString(extraName + `="` + escapeLabel(extraValue) + `"`); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('}'); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString(" " + formatFloat(v) + "\n")
+	return err
+}
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// with the Prometheus spellings for infinities and NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry in exposition
+// format — the /metrics endpoint of relcli serve and the debug server.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		// A write error here means the scraper hung up; there is no
+		// one left to report it to.
+		_ = r.WritePrometheus(w) //numvet:allow ignored-err scraper disconnects are benign
+	})
+}

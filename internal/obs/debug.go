@@ -7,11 +7,32 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"repro/internal/metrics"
 )
 
-// DebugServer is an opt-in HTTP endpoint serving net/http/pprof profiles
-// and the expvar counter page during long solves. It binds its own mux so
-// importing this package never touches http.DefaultServeMux.
+// RegisterDebug mounts the debug routes on mux: /debug/pprof/ (index,
+// profile, heap, trace, …), /debug/vars (expvar, including the mirrored
+// relprobe.* counters), and /metrics (reg in Prometheus exposition
+// format; nil means the default registry). `relcli serve` reuses it so
+// the solve service and the standalone debug server expose identical
+// surfaces.
+func RegisterDebug(mux *http.ServeMux, reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", reg.Handler())
+}
+
+// DebugServer is an opt-in HTTP endpoint serving net/http/pprof profiles,
+// the expvar counter page, and /metrics during long solves. It binds its
+// own mux so importing this package never touches http.DefaultServeMux.
 type DebugServer struct {
 	// Addr is the bound listen address (useful with ":0").
 	Addr string
@@ -20,21 +41,15 @@ type DebugServer struct {
 	ln  net.Listener
 }
 
-// ServeDebug starts a debug server on addr ("localhost:6060", ":0", …).
-// Routes: /debug/pprof/ (index, profile, heap, trace, …) and /debug/vars
-// (expvar, including the relprobe.* counters).
+// ServeDebug starts a debug server on addr ("localhost:6060", ":0", …)
+// with the RegisterDebug routes.
 func ServeDebug(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
+	RegisterDebug(mux, nil)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		// Serve returns ErrServerClosed on Close; nothing to report.

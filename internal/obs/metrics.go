@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// MetricsRecorder bridges Recorder events into a metrics.Registry,
+// turning per-solve span trees into cross-solve aggregates. It pattern
+// matches the attribute vocabulary the solvers already emit (see
+// internal/linalg, markov, hier, faulttree, guard):
+//
+//   - spans carrying a "solver" attribute feed a wall-time histogram,
+//     an iteration counter, and a last-residual gauge labeled
+//     {solver, model};
+//   - "guard.chain" spans feed fallback counters: one per attempt labeled
+//     {chain, method, class} and one per decided chain labeled
+//     {chain, winner} ("" when exhausted);
+//   - "outcome" attributes (set by guard.RecordInterrupt, RecoverPanic,
+//     and chain exhaustion) feed a guard-outcome counter labeled
+//     {outcome} — canceled, deadline, panic, exhausted;
+//   - "guard_warning_op" attributes (warn-mode guard rails) feed a
+//     rail-warning counter labeled {op}.
+//
+// Attach it with Multi alongside a Trace or SlogRecorder; when metrics
+// are not wanted, simply don't attach it — the solvers' Enabled() guards
+// then skip every call.
+type MetricsRecorder struct {
+	model string
+
+	spans     *metrics.Counter
+	solves    *metrics.Counter
+	wall      *metrics.Histogram
+	iters     *metrics.Counter
+	residual  *metrics.Gauge
+	attempts  *metrics.Counter
+	winners   *metrics.Counter
+	outcomes  *metrics.Counter
+	railWarns *metrics.Counter
+}
+
+// NewMetricsRecorder registers the relscope solver-metric families on reg
+// (idempotently — registries dedupe by name) and returns a bridge that
+// labels every sample with the given model name.
+func NewMetricsRecorder(reg *metrics.Registry, model string) *MetricsRecorder {
+	return &MetricsRecorder{
+		model: model,
+		spans: reg.NewCounter("relscope_spans_total",
+			"Solver telemetry spans opened.", "model"),
+		solves: reg.NewCounter("relscope_solves_total",
+			"Model solves started (root spans).", "model"),
+		wall: reg.NewHistogram("relscope_solver_wall_seconds",
+			"Wall time of solver spans.", nil, "solver", "model"),
+		iters: reg.NewCounter("relscope_solver_iterations_total",
+			"Iterations recorded by iterative solvers.", "solver", "model"),
+		residual: reg.NewGauge("relscope_solver_last_residual",
+			"Most recent convergence residual per solver.", "solver", "model"),
+		attempts: reg.NewCounter("relscope_chain_attempts_total",
+			"Fallback-chain attempts by failure class (class \"none\" is success).", "chain", "method", "class", "model"),
+		winners: reg.NewCounter("relscope_chain_decided_total",
+			"Fallback chains decided, by winning method (winner \"\" means exhausted).", "chain", "winner", "model"),
+		outcomes: reg.NewCounter("relscope_guard_outcomes_total",
+			"Guard outcomes observed on spans: canceled, deadline, panic, exhausted.", "outcome", "model"),
+		railWarns: reg.NewCounter("relscope_rail_warnings_total",
+			"Warn-mode numerical guard-rail violations by check site.", "op", "model"),
+	}
+}
+
+// Enabled implements Recorder.
+func (m *MetricsRecorder) Enabled() bool { return true }
+
+// Span implements Recorder: the root of a new solve.
+func (m *MetricsRecorder) Span(name string, attrs ...Attr) Recorder {
+	m.solves.Inc(m.model)
+	return m.openSpan(name, "", attrs)
+}
+
+// End, Iter, IterLabel, and Set on the bridge itself (outside any span)
+// have no aggregate meaning and are ignored.
+func (m *MetricsRecorder) End()                           {}
+func (m *MetricsRecorder) Iter(int, float64)              {}
+func (m *MetricsRecorder) IterLabel(int, float64, string) {}
+func (m *MetricsRecorder) Set(...Attr)                    {}
+
+// openSpan builds the per-span state, inheriting the enclosing chain name
+// so attempt spans can label their metrics.
+func (m *MetricsRecorder) openSpan(name, chain string, attrs []Attr) *metricsSpan {
+	m.spans.Inc(m.model)
+	s := &metricsSpan{m: m, name: name, chain: chain, start: time.Now()}
+	s.absorb(attrs)
+	return s
+}
+
+// metricsSpan is the bridge's per-span recorder. Only the goroutine
+// driving the span mutates it (the Recorder contract), so no lock is
+// needed; the metric families it feeds are themselves concurrency-safe.
+type metricsSpan struct {
+	m      *MetricsRecorder
+	name   string
+	chain  string // enclosing guard.chain name, inherited by children
+	method string // "method" attr on attempt spans
+	solver string // "solver" attr
+	start  time.Time
+}
+
+// absorb inspects attributes for the keys the bridge aggregates.
+func (s *metricsSpan) absorb(attrs []Attr) {
+	for _, a := range attrs {
+		v, isString := a.Value().(string)
+		if !isString {
+			continue
+		}
+		switch a.Key {
+		case "solver":
+			s.solver = v
+		case "chain":
+			s.chain = v
+		case "method":
+			s.method = v
+		case "failure_class":
+			s.m.attempts.Inc(s.chain, s.method, v, s.m.model)
+		case "winner":
+			s.m.winners.Inc(s.chain, v, s.m.model)
+		case "outcome":
+			if v == "exhausted" {
+				// A chain span reporting exhaustion also sets winner="";
+				// count it under both surfaces.
+				s.m.winners.Inc(s.chain, "", s.m.model)
+			}
+			s.m.outcomes.Inc(v, s.m.model)
+		case "guard_warning_op":
+			s.m.railWarns.Inc(v, s.m.model)
+		}
+	}
+}
+
+func (s *metricsSpan) Enabled() bool { return true }
+
+func (s *metricsSpan) Span(name string, attrs ...Attr) Recorder {
+	return s.m.openSpan(name, s.chain, attrs)
+}
+
+// End observes the wall-time histogram for spans that identified a
+// solver; purely structural spans (measure:*, modelio.solve) only count
+// toward relscope_spans_total.
+func (s *metricsSpan) End() {
+	if s.solver != "" {
+		s.m.wall.Observe(time.Since(s.start).Seconds(), s.solver, s.m.model)
+	}
+}
+
+func (s *metricsSpan) Iter(n int, residual float64) { s.IterLabel(n, residual, "") }
+
+func (s *metricsSpan) IterLabel(_ int, residual float64, _ string) {
+	solver := s.solver
+	if solver == "" {
+		solver = s.name
+	}
+	s.m.iters.Inc(solver, s.m.model)
+	s.m.residual.Set(residual, solver, s.m.model)
+}
+
+func (s *metricsSpan) Set(attrs ...Attr) { s.absorb(attrs) }

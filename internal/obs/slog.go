@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// SlogRecorder bridges Recorder events to a *slog.Logger, rendering a
+// solve as structured log events instead of (or alongside, via Multi) a
+// span tree. Span completions log at Info with the span's dotted path,
+// wall time, and accumulated attributes; per-iteration convergence
+// records log at Debug (enable a Debug-level handler to see residual
+// trajectories). relcli exposes it as `-log text|json`.
+type SlogRecorder struct {
+	log *slog.Logger
+}
+
+// NewSlogRecorder wraps a logger. A nil logger uses slog.Default().
+func NewSlogRecorder(l *slog.Logger) *SlogRecorder {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &SlogRecorder{log: l}
+}
+
+// Enabled implements Recorder.
+func (r *SlogRecorder) Enabled() bool { return true }
+
+// Span implements Recorder: a root span of a logged solve.
+func (r *SlogRecorder) Span(name string, attrs ...Attr) Recorder {
+	return newSlogSpan(r.log, "", name, attrs)
+}
+
+// End, Iter, IterLabel, and Set outside any span carry no path context
+// and are ignored.
+func (r *SlogRecorder) End()                           {}
+func (r *SlogRecorder) Iter(int, float64)              {}
+func (r *SlogRecorder) IterLabel(int, float64, string) {}
+func (r *SlogRecorder) Set(...Attr)                    {}
+
+// slogSpan is the per-span recorder. The driving goroutine owns it, so
+// the accumulated attrs need no lock.
+type slogSpan struct {
+	log   *slog.Logger
+	path  string
+	start time.Time
+	attrs []Attr
+	iters int
+	last  float64
+}
+
+func newSlogSpan(log *slog.Logger, parentPath, name string, attrs []Attr) *slogSpan {
+	path := name
+	if parentPath != "" {
+		path = parentPath + "." + name
+	}
+	return &slogSpan{log: log, path: path, start: time.Now(), attrs: attrs}
+}
+
+func (s *slogSpan) Enabled() bool { return true }
+
+func (s *slogSpan) Span(name string, attrs ...Attr) Recorder {
+	return newSlogSpan(s.log, s.path, name, attrs)
+}
+
+// End emits the span-completion event carrying everything the span
+// accumulated.
+func (s *slogSpan) End() {
+	args := make([]any, 0, 2*len(s.attrs)+8)
+	args = append(args, "span", s.path, "wall_ms", float64(time.Since(s.start).Nanoseconds())/1e6)
+	if s.iters > 0 {
+		args = append(args, "iterations", s.iters, "last_residual", s.last)
+	}
+	for _, a := range s.attrs {
+		args = append(args, a.Key, a.Value())
+	}
+	s.log.Info("span", args...)
+}
+
+func (s *slogSpan) Iter(n int, residual float64) { s.IterLabel(n, residual, "") }
+
+// IterLabel logs one convergence record at Debug — visible only when the
+// handler's level admits it, so Info-level serving does not drown in
+// residuals — and folds the running count into the span-end event.
+func (s *slogSpan) IterLabel(n int, residual float64, label string) {
+	s.iters++
+	s.last = residual
+	if !s.log.Enabled(context.Background(), slog.LevelDebug) {
+		return
+	}
+	args := []any{"span", s.path, "n", n, "residual", residual}
+	if label != "" {
+		args = append(args, "label", label)
+	}
+	s.log.Debug("convergence", args...)
+}
+
+func (s *slogSpan) Set(attrs ...Attr) { s.attrs = append(s.attrs, attrs...) }

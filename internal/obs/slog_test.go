@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestSlogRecorderInfo checks span-completion events at Info level: one
+// line per span with the dotted path, wall time, attributes, and folded
+// iteration summary — but no per-iteration spam.
+func TestSlogRecorderInfo(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	rec := NewSlogRecorder(logger)
+
+	root := rec.Span("modelio.solve", S("model", "farm"))
+	sor := root.Span("linalg.sor", S("solver", "sor"))
+	sor.Iter(1, 0.5)
+	sor.IterLabel(2, 0.01, "sweep")
+	sor.End()
+	root.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 span events, got %d:\n%s", len(lines), buf.String())
+	}
+	var ev struct {
+		Msg          string  `json:"msg"`
+		Span         string  `json:"span"`
+		WallMS       float64 `json:"wall_ms"`
+		Iterations   int     `json:"iterations"`
+		LastResidual float64 `json:"last_residual"`
+		Solver       string  `json:"solver"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Msg != "span" || ev.Span != "modelio.solve.linalg.sor" {
+		t.Errorf("inner event = %+v", ev)
+	}
+	if ev.Iterations != 2 || ev.LastResidual != 0.01 || ev.Solver != "sor" {
+		t.Errorf("inner event missing solve facts: %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Span != "modelio.solve" || ev.WallMS < 0 {
+		t.Errorf("root event = %+v", ev)
+	}
+}
+
+// TestSlogRecorderDebugIterations checks that a Debug-level handler also
+// receives one structured convergence event per iteration.
+func TestSlogRecorderDebugIterations(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	rec := NewSlogRecorder(logger)
+	sp := rec.Span("linalg.sor", S("solver", "sor"))
+	sp.Iter(1, 0.5)
+	sp.IterLabel(2, 0.25, "node-a")
+	sp.End()
+
+	out := buf.String()
+	if got := strings.Count(out, "msg=convergence"); got != 2 {
+		t.Errorf("want 2 convergence events, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "label=node-a") {
+		t.Errorf("labeled iteration lost its label:\n%s", out)
+	}
+}
+
+func TestSlogRecorderNilLogger(t *testing.T) {
+	rec := NewSlogRecorder(nil)
+	if !rec.Enabled() {
+		t.Error("slog recorder reports disabled")
+	}
+	sp := rec.Span("x")
+	sp.End() // must not panic with the default logger
+}

@@ -9,16 +9,29 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
-// Process-wide relprobe counters, exported through expvar so a -pprof
-// debug server (see ServeDebug) exposes them at /debug/vars during long
-// solves. They advance only while a Trace is recording.
+// Process-wide relprobe counters. Since relscope (PR 5) they live in the
+// default metrics registry — the single source of truth scraped at
+// /metrics — and the legacy expvar names under /debug/vars are read-only
+// views of the same counters, so the two surfaces cannot drift. They
+// advance only while a Trace is recording.
 var (
-	ctrTraces = expvar.NewInt("relprobe.traces")
-	ctrSpans  = expvar.NewInt("relprobe.spans")
-	ctrIters  = expvar.NewInt("relprobe.iterations")
+	ctrTraces = metrics.Default().NewCounter("relprobe_traces_total", "Traces started.")
+	ctrSpans  = metrics.Default().NewCounter("relprobe_spans_total", "Trace spans opened.")
+	ctrIters  = metrics.Default().NewCounter("relprobe_iterations_total", "Iterations recorded on traces.")
 )
+
+func init() {
+	mirror := func(name string, c *metrics.Counter) {
+		expvar.Publish(name, expvar.Func(func() any { return int64(c.Value()) }))
+	}
+	mirror("relprobe.traces", ctrTraces)
+	mirror("relprobe.spans", ctrSpans)
+	mirror("relprobe.iterations", ctrIters)
+}
 
 // IterPoint is one recorded iteration of an iterative solve.
 type IterPoint struct {

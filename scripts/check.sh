@@ -31,6 +31,13 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 echo "== numvet"
 go run ./cmd/numvet ./internal/...
 
+# Solver performance gate: one suite run compared against the committed
+# baseline with a wide band (10x + 250ms) so only order-of-magnitude
+# regressions fail CI regardless of machine speed. Tighten locally with
+# `go run ./cmd/relbench -compare` (default band: 4x + 25ms).
+echo "== relbench regression gate"
+go run ./cmd/relbench -compare -factor 10 -slack-ms 250
+
 # Fuzz smoke is opt-in (CHECK_FUZZ=1): ten seconds per target over the
 # modelio JSON parser, seeded from models/*.json. Go allows one -fuzz
 # target per invocation, hence the loop.
