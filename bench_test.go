@@ -58,6 +58,7 @@ func BenchmarkE10SPN(b *testing.B)          { benchExperiment(b, "E10") }
 func BenchmarkE11Rejuvenation(b *testing.B) { benchExperiment(b, "E11") }
 func BenchmarkE12RelGraph(b *testing.B)     { benchExperiment(b, "E12") }
 func BenchmarkE13Lumping(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14AutoLump(b *testing.B)     { benchExperiment(b, "E14") }
 
 // --- solver-kernel micro-benchmarks -----------------------------------
 

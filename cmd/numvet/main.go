@@ -1,7 +1,7 @@
 // Command numvet is a repo-specific static analyzer for numerical code.
 // It type-checks the requested packages from source (standard library
 // tooling only — go/parser and go/types with a module-aware importer) and
-// reports three classes of problems that plague reliability solvers:
+// reports classes of problems that plague reliability solvers:
 //
 //   - float-eq: == or != between floating-point values. Solver results
 //     come out of iterative algorithms and quadrature; exact comparison
@@ -11,6 +11,16 @@
 //     service embedding the solvers can reject bad models gracefully.
 //   - ignored-err: an expression statement discarding the error returned
 //     by one of this module's own APIs.
+//   - time-sleep: time.Sleep in library code; waits must go through a
+//     timer in a select so a context can interrupt them.
+//   - unbounded-loop: a condition-less for-loop in library code with no
+//     structural bound.
+//   - goroutine-no-ctx: a go statement in library code with no
+//     context.Context anywhere in the launched call — arguments, callee,
+//     or closure capture. Such goroutines cannot be canceled.
+//   - defer-in-loop: a defer directly inside a loop body; the deferred
+//     calls pile up until the function returns, which in a solver's hot
+//     loop means unbounded memory and late cleanup.
 //
 // A finding can be acknowledged with a same-line comment:
 //

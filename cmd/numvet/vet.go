@@ -13,11 +13,13 @@ import (
 // library packages. Each finding names its rule so a same-line
 // "//numvet:allow <rule> <reason>" comment can acknowledge it.
 const (
-	ruleFloatEq       = "float-eq"
-	rulePanic         = "panic"
-	ruleIgnoredErr    = "ignored-err"
-	ruleTimeSleep     = "time-sleep"
-	ruleUnboundedLoop = "unbounded-loop"
+	ruleFloatEq        = "float-eq"
+	rulePanic          = "panic"
+	ruleIgnoredErr     = "ignored-err"
+	ruleTimeSleep      = "time-sleep"
+	ruleUnboundedLoop  = "unbounded-loop"
+	ruleGoroutineNoCtx = "goroutine-no-ctx"
+	ruleDeferInLoop    = "defer-in-loop"
 )
 
 // Finding is one rule violation.
@@ -124,6 +126,17 @@ func (v *visitor) inspect(n ast.Node) bool {
 			v.report(n.For, ruleUnboundedLoop,
 				"unbounded for-loop in library function %s; bound it or justify termination with an allow comment", v.funcName)
 		}
+		v.checkDeferInLoop(n.Body)
+	case *ast.RangeStmt:
+		v.checkDeferInLoop(n.Body)
+	case *ast.GoStmt:
+		// A goroutine launched from library code with no context.Context in
+		// reach cannot be canceled; solver fan-out must thread one through
+		// (or justify fire-and-forget with an allow comment).
+		if v.pkgName != "main" && !v.mentionsContext(n.Call) {
+			v.report(n.Go, ruleGoroutineNoCtx,
+				"goroutine in library function %s has no context.Context in scope of the launch; thread one through for cancellation", v.funcName)
+		}
 	case *ast.CallExpr:
 		if id, ok := n.Fun.(*ast.Ident); ok && isBuiltinPanic(id, v.info) {
 			// A library package must return errors; panics are reserved
@@ -150,6 +163,75 @@ func (v *visitor) inspect(n ast.Node) bool {
 		}
 	}
 	return true
+}
+
+// checkDeferInLoop flags defers placed directly inside a loop body: they
+// pile up until the surrounding function returns, which in a solver's
+// hot loop means unbounded memory and late cleanup. Defers inside
+// function literals run at that literal's return and are fine; nested
+// loops report their own bodies when the visitor reaches them.
+func (v *visitor) checkDeferInLoop(body *ast.BlockStmt) {
+	if v.pkgName == "main" || body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.DeferStmt:
+			v.report(n.Defer, ruleDeferInLoop,
+				"defer inside a loop in function %s runs only at function return; hoist it or wrap the body in a closure", v.funcName)
+		}
+		return true
+	})
+}
+
+// mentionsContext reports whether any expression in the launched call —
+// arguments, callee, or a function-literal body — has type
+// context.Context. That covers the common shapes: passing a ctx
+// argument, launching a method on a ctx-holding value, or a closure
+// capturing ctx.
+func (v *visitor) mentionsContext(call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isContextType(v.info.TypeOf(e)) {
+			found = true
+			return false
+		}
+		// A function literal whose parameters include a context counts even
+		// though the parameter names are declarations, not expressions.
+		if lit, ok := e.(*ast.FuncLit); ok && lit.Type.Params != nil {
+			for _, field := range lit.Type.Params.List {
+				if isContextType(v.info.TypeOf(field.Type)) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
 }
 
 // isTimeSleep reports whether the call resolves to the standard library's

@@ -351,3 +351,122 @@ func main() {
 		}
 	}
 }
+
+func TestGoroutineNoCtxRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+import "context"
+
+func Fire() {
+	go func() {}()
+}
+
+func WithCtxArg(ctx context.Context) {
+	go handle(ctx)
+}
+
+func WithCtxCapture(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func WithCtxParam(f func(context.Context)) {
+	go func(ctx context.Context) {
+		f(ctx)
+	}(context.Background())
+}
+
+func Allowed() {
+	go func() {}() //numvet:allow goroutine-no-ctx fire-and-forget metric flush
+}
+
+func handle(ctx context.Context) {}
+`,
+		"cmd/tool/main.go": `package main
+
+func main() {
+	go func() {}() // mains own their process lifetime
+	select {}
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib", "./cmd/tool")
+	if got := rules(fs)[ruleGoroutineNoCtx]; got != 1 {
+		t.Fatalf("want exactly 1 goroutine-no-ctx finding (in Fire), got %d: %v", got, fs)
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("goroutine-no-ctx finding at line %d, want 6: %v", fs[0].Pos.Line, fs[0])
+	}
+}
+
+func TestDeferInLoopRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+import "sync"
+
+func Leaky(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+
+func LeakyFor(mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+
+// Hoisted defers inside a closure run per iteration; that is the fix the
+// rule message recommends.
+func Hoisted(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+		}()
+	}
+}
+
+func Outside(mu *sync.Mutex, xs []int) {
+	mu.Lock()
+	defer mu.Unlock()
+	for range xs {
+	}
+}
+
+func Allowed(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock() //numvet:allow defer-in-loop bounded by the fixed handle count
+	}
+}
+
+// Nested loops must not double-report the inner defer.
+func Nested(mus [][]*sync.Mutex) {
+	for _, row := range mus {
+		for _, mu := range row {
+			mu.Lock()
+			defer mu.Unlock()
+		}
+	}
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib")
+	if got := rules(fs)[ruleDeferInLoop]; got != 3 {
+		t.Fatalf("want 3 defer-in-loop findings (Leaky, LeakyFor, Nested once), got %d: %v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Rule != ruleDeferInLoop {
+			continue
+		}
+		if f.Pos.Line != 8 && f.Pos.Line != 15 && f.Pos.Line != 49 {
+			t.Errorf("finding on unexpected line %d: %v", f.Pos.Line, f)
+		}
+	}
+}

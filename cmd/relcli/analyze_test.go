@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reducibleDoc is an inline chain with two recurrent classes — the
+// reducible case of the analyze acceptance matrix (the bundled fixtures
+// cover absorbing, stiff, and lumpable).
+const reducibleDoc = `{
+  "type": "ctmc",
+  "name": "two isolated clusters",
+  "ctmc": {
+    "transitions": [
+      {"from": "start", "to": "a", "rate": 1.0},
+      {"from": "start", "to": "b", "rate": 1.0},
+      {"from": "a", "to": "a2", "rate": 1.0},
+      {"from": "a2", "to": "a", "rate": 1.0},
+      {"from": "b", "to": "b2", "rate": 1.0},
+      {"from": "b2", "to": "b", "rate": 1.0}
+    ],
+    "measures": ["steadystate"]
+  }
+}`
+
+// TestAnalyzeJSONGolden locks the `analyze -json` StructReport document
+// for the structural fixture matrix: absorbing, lumpable, stiff, and
+// reducible chains. Models are fed over stdin so the golden "file" field
+// stays path-independent.
+func TestAnalyzeJSONGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		model   string // path, or "" to use doc
+		doc     string
+		wantErr bool // error-severity findings make analyze exit nonzero
+	}{
+		{name: "absorbing", model: filepath.Join("..", "..", "models", "absorbing.json")},
+		{name: "lumpable", model: filepath.Join("..", "..", "models", "lumpable.json")},
+		{name: "stiff", model: filepath.Join("..", "..", "models", "stiff.json")},
+		// Two closed classes under a steadystate measure is CT006, an
+		// error: the golden locks the report, the error is expected.
+		{name: "reducible", doc: reducibleDoc, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := tc.doc
+			if tc.model != "" {
+				raw, err := os.ReadFile(tc.model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				doc = string(raw)
+			}
+			var out strings.Builder
+			err := run([]string{"analyze", "-json"}, strings.NewReader(doc), &out)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("analyze err = %v, wantErr %v", err, tc.wantErr)
+			}
+			golden := filepath.Join("testdata", "analyze_"+tc.name+".golden")
+			if *updateGolden {
+				if werr := os.WriteFile(golden, []byte(out.String()), 0o644); werr != nil {
+					t.Fatal(werr)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("analyze JSON drifted from %s; rerun with -update if intended.\ngot:\n%s", golden, out.String())
+			}
+		})
+	}
+}
+
+// TestAnalyzeErrorsExitNonzero: error-severity findings must fail the
+// subcommand (the check.sh gate relies on this).
+func TestAnalyzeErrorsExitNonzero(t *testing.T) {
+	model := filepath.Join("..", "..", "models", "broken_rowsum.json")
+	raw, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"analyze"}, bytes.NewReader(raw), &out); err == nil {
+		t.Fatalf("broken model analyzed clean:\n%s", out.String())
+	}
+}
+
+// TestAnalyzeSkipsNonCTMC: non-ctmc documents are skipped, not errors.
+func TestAnalyzeSkipsNonCTMC(t *testing.T) {
+	model := filepath.Join("..", "..", "models", "bridge.json")
+	raw, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"analyze", "-json"}, bytes.NewReader(raw), &out); err != nil {
+		t.Fatal(err)
+	}
+	var reports []analyzeFileReport
+	if err := json.Unmarshal([]byte(out.String()), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Skipped == "" || reports[0].Report != nil {
+		t.Fatalf("non-ctmc document not skipped: %+v", reports)
+	}
+}
+
+// TestAnalyzeBundledModelsClean runs analyze over every bundled model
+// except the deliberately broken ones — the same gate scripts/check.sh
+// applies in CI.
+func TestAnalyzeBundledModelsClean(t *testing.T) {
+	dir := filepath.Join("..", "..", "models")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "broken_") || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	var out strings.Builder
+	if err := run(append([]string{"analyze"}, files...), nil, &out); err != nil {
+		t.Fatalf("bundled models failed analyze: %v\n%s", err, out.String())
+	}
+}
+
+// TestLintOutputSortedByCodeThenPath locks the deterministic ordering
+// contract of the lint subcommand: diagnostics come out sorted by code,
+// then path, in both text and JSON modes.
+func TestLintOutputSortedByCodeThenPath(t *testing.T) {
+	// A document tripping several codes at once: a bad rate (CT001), a
+	// self-loop (CT002), a duplicate pair (CT003), and an unknown up
+	// state (CT004).
+	doc := `{
+	  "type": "ctmc",
+	  "ctmc": {
+	    "transitions": [
+	      {"from": "b", "to": "c", "rate": 1.0},
+	      {"from": "b", "to": "c", "rate": 2.0},
+	      {"from": "a", "to": "a", "rate": 1.0},
+	      {"from": "a", "to": "b", "rate": -1}
+	    ],
+	    "upStates": ["nosuch"],
+	    "measures": ["steadystate"]
+	  }
+	}`
+	var out strings.Builder
+	_ = run([]string{"lint", "-json"}, strings.NewReader(doc), &out)
+	var reports []lintFileReport
+	if err := json.Unmarshal([]byte(out.String()), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || len(reports[0].Diagnostics) < 3 {
+		t.Fatalf("unexpected lint output: %+v", reports)
+	}
+	ds := reports[0].Diagnostics
+	for i := 1; i < len(ds); i++ {
+		prev, cur := ds[i-1], ds[i]
+		if prev.Code > cur.Code || (prev.Code == cur.Code && prev.Path > cur.Path) {
+			t.Fatalf("diagnostics not sorted by (code, path): %s %s before %s %s",
+				prev.Code, prev.Path, cur.Code, cur.Path)
+		}
+	}
+
+	// The text mode prints in the same order as JSON.
+	var text strings.Builder
+	_ = run([]string{"lint"}, strings.NewReader(doc), &text)
+	lines := strings.Split(strings.TrimSpace(text.String()), "\n")
+	if len(lines) != len(ds) {
+		t.Fatalf("text mode printed %d lines for %d diagnostics", len(lines), len(ds))
+	}
+	for i, d := range ds {
+		if !strings.Contains(lines[i], d.Code) {
+			t.Fatalf("text line %d = %q, want code %s", i, lines[i], d.Code)
+		}
+	}
+}

@@ -12,10 +12,10 @@ import (
 	"repro/internal/guard"
 )
 
-// TestStiffChainTraceJSON is the fallback-chain acceptance test: the
-// bundled stiff model selects solver "chain" with a sweep budget SOR
-// cannot meet, so the solve must escalate to GTH and the -trace-json
-// document must carry both attempts plus the winner.
+// TestStiffChainTraceJSON is the structural-hint acceptance test: the
+// bundled stiff model selects solver "chain", and the static analyzer
+// detects the stiffness up front, so the -trace-json document must show
+// the recorded hint, GTH attempted first, and no wasted SOR attempt.
 func TestStiffChainTraceJSON(t *testing.T) {
 	model := filepath.Join("..", "..", "models", "stiff.json")
 	var out strings.Builder
@@ -37,12 +37,15 @@ func TestStiffChainTraceJSON(t *testing.T) {
 	}
 	trace := string(doc.Trace)
 	for _, want := range []string{
-		`"attempt:sor"`, `"attempt:gth"`,
-		`"failure_class": "no-convergence"`, `"winner": "gth"`,
+		`"attempt:gth"`, `"winner": "gth"`,
+		`"struct_prefer": "gth"`, `"struct_hint"`,
 	} {
 		if !strings.Contains(trace, want) {
 			t.Errorf("trace missing %s", want)
 		}
+	}
+	if strings.Contains(trace, `"attempt:sor"`) {
+		t.Error("stiff chain still attempted SOR before GTH despite the structural hint")
 	}
 	var avail float64
 	for _, r := range doc.Results {

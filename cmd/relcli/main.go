@@ -9,6 +9,7 @@
 //	relcli serve [-addr 127.0.0.1:8080] [-log json] [-max-inflight 8] [-timeout 30s]
 //	cat system.json | relcli [-json]
 //	relcli lint [-json] model.json [model.json ...]
+//	relcli analyze [-json] model.json [model.json ...]
 //
 // The input format is documented in internal/modelio and README.md; it
 // covers reliability block diagrams, fault trees, CTMCs, reliability
@@ -37,6 +38,12 @@
 // them, printing one diagnostic per line; it exits nonzero when any
 // document has an error-severity finding. See internal/lint for the
 // diagnostic code table.
+//
+// The analyze subcommand computes the static structural report of ctmc
+// documents (SCC condensation, stiffness, lumpability, solver hint — see
+// internal/relstruct) alongside the lint findings; -json emits the full
+// StructReport. Non-ctmc documents are reported as skipped. The serve
+// subcommand exposes the same analysis as POST /analyze.
 package main
 
 import (
@@ -67,6 +74,9 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "lint" {
 		return runLint(args[1:], stdin, stdout)
+	}
+	if len(args) > 0 && args[0] == "analyze" {
+		return runAnalyze(args[1:], stdin, stdout)
 	}
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], stdout)
@@ -204,6 +214,7 @@ func runLint(args []string, stdin io.Reader, stdout io.Writer) error {
 	var reports []lintFileReport
 	if len(files) == 0 {
 		_, ds := modelio.LintDocument(stdin)
+		sortByCodePath(ds)
 		reports = append(reports, lintFileReport{File: "<stdin>", Diagnostics: ds})
 	}
 	for _, path := range files {
@@ -213,6 +224,7 @@ func runLint(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		_, ds := modelio.LintDocument(f)
 		f.Close()
+		sortByCodePath(ds)
 		reports = append(reports, lintFileReport{File: path, Diagnostics: ds})
 	}
 

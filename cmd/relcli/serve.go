@@ -75,6 +75,7 @@ func newServeMux(cfg serveConfig) *http.ServeMux {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	obs.RegisterDebug(mux, cfg.Registry)
 	return mux
@@ -157,6 +158,29 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 			"remote", r.RemoteAddr)
 	}
 	s.reply(w, code, resp)
+}
+
+// handleAnalyze runs the static structural analysis (no solving) over one
+// model document: the serve-side preflight. The response mirrors the
+// `relcli analyze -json` per-file report. Documents with error-severity
+// findings come back 422 so callers can gate a later /solve on it.
+func (s *solveServer) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := http.StatusOK
+	defer func() {
+		s.latency.Observe(time.Since(start).Seconds(), "/analyze")
+	}()
+	rep := analyzeDocument("<request>", io.LimitReader(r.Body, maxSolveBody))
+	if lint.HasErrors(rep.Diagnostics) {
+		code = http.StatusUnprocessableEntity
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("analyze response write failed", "err", err)
+	}
 }
 
 // solveErrorStatus maps the typed solve-failure taxonomy onto HTTP.

@@ -208,3 +208,42 @@ func TestServeStructuredLogs(t *testing.T) {
 		t.Errorf("missing span events:\n%s", logs)
 	}
 }
+
+// TestServeAnalyze: POST /analyze is the serve-side preflight — it
+// returns the structural report without solving, and answers 422 when
+// the document has error-severity findings.
+func TestServeAnalyze(t *testing.T) {
+	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry(), MaxInflight: 2})
+
+	body, err := os.ReadFile(filepath.Join("..", "..", "models", "absorbing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /analyze absorbing: status %d: %s", w.Code, w.Body.String())
+	}
+	var rep analyzeFileReport
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Report == nil || rep.Report.States != 3 {
+		t.Fatalf("missing or wrong structural report: %s", w.Body.String())
+	}
+	if rep.Report.Hint.Reduce != "restrict-recurrent" {
+		t.Fatalf("hint.reduce = %q, want restrict-recurrent", rep.Report.Hint.Reduce)
+	}
+
+	broken, err := os.ReadFile(filepath.Join("..", "..", "models", "broken_rowsum.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(broken))
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("POST /analyze broken model: status %d, want 422", w.Code)
+	}
+}

@@ -24,7 +24,7 @@ func E13Lumping(rec obs.Recorder) (*core.Table, error) {
 		Notes:   "availabilities identical to solver precision; the lumped chain solves in microseconds regardless of n",
 	}
 	lam, mu := 0.02, 1.0
-	for _, n := range []int{4, 6, 8, 10, 12} {
+	for _, n := range []int{4, 6, 8, 10} {
 		detailed, err := identicalSharedRepairChain(n, lam, mu)
 		if err != nil {
 			return nil, err

@@ -24,8 +24,8 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := r.IDs()
-	if len(ids) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(ids))
+	if len(ids) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(ids))
 	}
 	for i, id := range ids {
 		want := "E" + strconv.Itoa(i+1)
@@ -291,6 +291,28 @@ func TestE13Shape(t *testing.T) {
 	}
 }
 
+func TestE14Shape(t *testing.T) {
+	tbl := runExp(t, "E14")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (n=8,10,12)", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		n := parse(t, row[0])
+		if parse(t, row[1]) != float64(int(1)<<int(n)) {
+			t.Errorf("row %d: detailed states %s != 2^%g", i, row[1], n)
+		}
+		// The coarsest partition of the symmetric farm is the failure
+		// count: n+1 blocks out of 2^n states.
+		if parse(t, row[2]) != n+1 {
+			t.Errorf("row %d: discovered blocks %s != n+1", i, row[2])
+		}
+		off, auto := parse(t, row[3]), parse(t, row[4])
+		if rel := (off - auto) / off; rel > 1e-9 || rel < -1e-9 {
+			t.Errorf("row %d: MTTAs differ by %g relative", i, rel)
+		}
+	}
+}
+
 func TestRunAllRenders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full run in long mode only")
@@ -304,7 +326,7 @@ func TestRunAllRenders(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for i := 1; i <= 13; i++ {
+	for i := 1; i <= 14; i++ {
 		if !strings.Contains(out, "E"+strconv.Itoa(i)+" — ") {
 			t.Errorf("output missing E%d", i)
 		}

@@ -97,6 +97,24 @@ type Step[T any] struct {
 	Backoff time.Duration
 }
 
+// Prefer reorders a step list so the named step runs first, keeping the
+// relative order of the remaining steps. An unknown name returns the list
+// unchanged, so callers can pass a structural solver hint through
+// verbatim without validating it against the chain's method set.
+func Prefer[T any](name string, steps ...Step[T]) []Step[T] {
+	for i, s := range steps {
+		if s.Name != name {
+			continue
+		}
+		out := make([]Step[T], 0, len(steps))
+		out = append(out, s)
+		out = append(out, steps[:i]...)
+		out = append(out, steps[i+1:]...)
+		return out
+	}
+	return steps
+}
+
 // Attempt records one executed step (including retries) in a ChainReport.
 type Attempt struct {
 	// Method is the step name, Try its 1-based attempt number within the

@@ -251,3 +251,46 @@ func TestChainStressRace(t *testing.T) {
 		t.Errorf("recorded %d chain spans, want %d", chains, goroutines*runs)
 	}
 }
+
+// TestPrefer checks the hint-driven step reordering: the named step moves
+// first, relative order of the rest is kept, unknown names are a no-op.
+func TestPrefer(t *testing.T) {
+	mk := func(names ...string) []Step[int] {
+		out := make([]Step[int], len(names))
+		for i, n := range names {
+			out[i] = Step[int]{Name: n}
+		}
+		return out
+	}
+	names := func(steps []Step[int]) []string {
+		out := make([]string, len(steps))
+		for i, s := range steps {
+			out[i] = s.Name
+		}
+		return out
+	}
+	cases := []struct {
+		prefer string
+		in     []string
+		want   []string
+	}{
+		{"gth", []string{"sor", "gth"}, []string{"gth", "sor"}},
+		{"sor", []string{"sor", "gth"}, []string{"sor", "gth"}},
+		{"c", []string{"a", "b", "c", "d"}, []string{"c", "a", "b", "d"}},
+		{"missing", []string{"a", "b"}, []string{"a", "b"}},
+		{"x", nil, nil},
+	}
+	for _, tc := range cases {
+		got := names(Prefer(tc.prefer, mk(tc.in...)...))
+		if len(got) != len(tc.want) {
+			t.Errorf("Prefer(%q, %v) = %v, want %v", tc.prefer, tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Prefer(%q, %v) = %v, want %v", tc.prefer, tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}

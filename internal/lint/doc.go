@@ -78,6 +78,20 @@
 //	PN008  error    nonpositive arc multiplicity
 //	PN009  warning  place or transition with no arcs
 //
+// Structural analysis (CheckCTMCStructure, backed by internal/relstruct;
+// only runs when the basic CT checks found no errors):
+//
+//	STR001 warning  chain is reducible with multiple recurrent classes
+//	STR002 warning  transient states under a steady-state measure
+//	STR003 warning  recurrent class unreachable from the initial state
+//	STR004 warning  stiff recurrent class (rate-ratio spread ≥ 1e6)
+//	STR005 info     states lump exactly into fewer macro-states
+//	STR006 warning  periodic recurrent class (discrete chains)
+//	STR007 info     initial state is transient
+//	STR008 warning  chain splits into disconnected components
+//	STR009 info     distilled structural solver hint
+//	STR010 warning  rate span beyond double-precision comfort (≥ 1e12)
+//
 // Distributions (CheckDist):
 //
 //	DIST001 error   invalid distribution parameter
@@ -149,6 +163,17 @@ const (
 	CodePNDuplicateName     = "PN007"
 	CodePNBadMult           = "PN008"
 	CodePNDisconnected      = "PN009"
+
+	CodeStructReducible        = "STR001"
+	CodeStructTransientMass    = "STR002"
+	CodeStructUnreachableClass = "STR003"
+	CodeStructStiff            = "STR004"
+	CodeStructLumpable         = "STR005"
+	CodeStructPeriodic         = "STR006"
+	CodeStructTransientInitial = "STR007"
+	CodeStructDisconnected     = "STR008"
+	CodeStructSolverHint       = "STR009"
+	CodeStructRateSpan         = "STR010"
 
 	CodeDistBadParam    = "DIST001"
 	CodeDistUnknownKind = "DIST002"

@@ -63,6 +63,11 @@ func warnf(ds []Diagnostic, code, path, format string, args ...any) []Diagnostic
 	return append(ds, Diagnostic{Code: code, Severity: SevWarning, Path: path, Msg: fmt.Sprintf(format, args...)})
 }
 
+// infof appends an info diagnostic.
+func infof(ds []Diagnostic, code, path, format string, args ...any) []Diagnostic {
+	return append(ds, Diagnostic{Code: code, Severity: SevInfo, Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
 // HasErrors reports whether any diagnostic is an error.
 func HasErrors(ds []Diagnostic) bool {
 	for _, d := range ds {
@@ -119,7 +124,14 @@ type Input struct {
 func Model(in Input) []Diagnostic {
 	var ds []Diagnostic
 	if in.CTMC != nil {
-		ds = append(ds, CheckCTMC(*in.CTMC)...)
+		cds := CheckCTMC(*in.CTMC)
+		if !HasErrors(cds) {
+			// Structural analysis over a chain whose basic shape is broken
+			// (bad rates, dangling states) would mislead; run it only on
+			// otherwise-clean chains.
+			cds = append(cds, CheckCTMCStructure(*in.CTMC)...)
+		}
+		ds = append(ds, cds...)
 	}
 	if in.FaultTree != nil {
 		ds = append(ds, CheckFaultTree(*in.FaultTree)...)

@@ -10,10 +10,53 @@ import (
 
 // TestCTMCChainEscalatesToGTH starves SOR so the "chain" method must fall
 // back to GTH, and checks the trace records both attempts and the winner.
+// The rates stay within one order of magnitude so the structural analyzer
+// does not reorder the steps — escalation itself is under test here.
 func TestCTMCChainEscalatesToGTH(t *testing.T) {
 	c := NewCTMC()
-	// Rates spanning twelve orders of magnitude, an over-relaxed omega, and
-	// a starved sweep budget: SOR cannot reach 1e-13 in 25 sweeps here.
+	mustRate(t, c, "up", "degraded", 0.5)
+	mustRate(t, c, "degraded", "up", 2.0)
+	mustRate(t, c, "degraded", "down", 0.7)
+	mustRate(t, c, "down", "degraded", 1.1)
+	mustRate(t, c, "down", "dead", 0.3)
+	mustRate(t, c, "dead", "up", 2.5)
+	mustRate(t, c, "up", "dead", 0.2)
+	tr := obs.NewTrace("test")
+	pi, err := c.SteadyStateMapWithOptions(SteadyStateOptions{
+		Method: "chain",
+		// An over-relaxed omega and a starved sweep budget: SOR cannot
+		// reach 1e-13 in 2 sweeps.
+		SOR:      linalg.SOROptions{Tol: 1e-13, MaxIter: 2, Omega: 1.9},
+		Recorder: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range pi {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("chain-solved pi sums to %g, want 1", sum)
+	}
+	root := tr.Finish()
+	chain := findSpan(root, "guard.chain")
+	if chain == nil {
+		t.Fatal("no guard.chain span in trace")
+	}
+	if got, _ := chain.Attr("winner"); got != "gth" {
+		t.Errorf("chain winner = %v, want gth", got)
+	}
+	if findSpan(chain, "attempt:sor") == nil || findSpan(chain, "attempt:gth") == nil {
+		t.Errorf("chain span missing attempt children: %+v", chain.Children)
+	}
+}
+
+// TestCTMCChainStiffHintPrefersGTH checks the structural pre-pass on a
+// stiff chain: the steadystate span records the hint and the first (and
+// only) attempt is GTH — the doomed SOR attempt is skipped entirely.
+func TestCTMCChainStiffHintPrefersGTH(t *testing.T) {
+	c := NewCTMC()
 	mustRate(t, c, "up", "degraded", 1e-6)
 	mustRate(t, c, "degraded", "up", 1e6)
 	mustRate(t, c, "degraded", "down", 2e6)
@@ -30,17 +73,20 @@ func TestCTMCChainEscalatesToGTH(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sum float64
-	for _, v := range pi {
-		sum += v
-	}
-	if math.Abs(sum-1) > 1e-9 {
-		t.Errorf("chain-solved pi sums to %g, want 1", sum)
-	}
 	if pi["up"] < 0.99 {
 		t.Errorf("pi[up] = %g, want > 0.99", pi["up"])
 	}
 	root := tr.Finish()
+	ss := findSpan(root, "markov.steadystate")
+	if ss == nil {
+		t.Fatal("no markov.steadystate span")
+	}
+	if got, _ := ss.Attr("struct_prefer"); got != "gth" {
+		t.Errorf("struct_prefer = %v, want gth", got)
+	}
+	if got, ok := ss.Attr("struct_hint"); !ok || got == "" {
+		t.Errorf("struct_hint missing, attrs = %+v", ss.Attrs)
+	}
 	chain := findSpan(root, "guard.chain")
 	if chain == nil {
 		t.Fatal("no guard.chain span in trace")
@@ -48,14 +94,122 @@ func TestCTMCChainEscalatesToGTH(t *testing.T) {
 	if got, _ := chain.Attr("winner"); got != "gth" {
 		t.Errorf("chain winner = %v, want gth", got)
 	}
-	if findSpan(chain, "attempt:sor") == nil || findSpan(chain, "attempt:gth") == nil {
-		t.Errorf("chain span missing attempt children: %+v", chain.Children)
+	if findSpan(chain, "attempt:sor") != nil {
+		t.Errorf("stiff chain still attempted sor before gth: %+v", chain.Children)
 	}
 }
 
+// TestCTMCChainRestrictsToRecurrentClass solves a reducible chain (one
+// recurrent class plus transient feeder states) with the chain method:
+// the structural pre-pass restricts the solve to the recurrent class and
+// zero-pads the transients.
+func TestCTMCChainRestrictsToRecurrentClass(t *testing.T) {
+	c := NewCTMC()
+	mustRate(t, c, "boot", "warm", 3.0)
+	mustRate(t, c, "warm", "up", 2.0)
+	mustRate(t, c, "up", "down", 0.5)
+	mustRate(t, c, "down", "up", 1.5)
+	tr := obs.NewTrace("test")
+	pi, err := c.SteadyStateMapWithOptions(SteadyStateOptions{Method: "chain", Recorder: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi["boot"] != 0 || pi["warm"] != 0 {
+		t.Errorf("transient states carry mass: %+v", pi)
+	}
+	// up/down two-state chain: pi ∝ [mu, lambda] = [1.5, 0.5]/2.
+	if math.Abs(pi["up"]-0.75) > 1e-12 || math.Abs(pi["down"]-0.25) > 1e-12 {
+		t.Errorf("recurrent-class solution wrong: %+v", pi)
+	}
+	root := tr.Finish()
+	ss := findSpan(root, "markov.steadystate")
+	if ss == nil {
+		t.Fatal("no markov.steadystate span")
+	}
+	if got, _ := ss.Attr("struct_reduce"); got != "restrict-recurrent" {
+		t.Errorf("struct_reduce = %v, want restrict-recurrent", got)
+	}
+	if got, _ := ss.Attr("restrict_states"); got != int64(2) {
+		t.Errorf("restrict_states = %v (%T), want 2", got, got)
+	}
+}
+
+// TestChainMethodOrderUnderHints is the table-driven contract for how the
+// analyzer hints reorder the fallback chain.
+func TestChainMethodOrderUnderHints(t *testing.T) {
+	cases := []struct {
+		name       string
+		rates      []Transition3
+		firstSteps []string // expected attempt order prefix
+		prefer     string   // expected struct_prefer attr ("" = absent)
+	}{
+		{
+			name: "benign keeps sor first",
+			rates: []Transition3{
+				{"a", "b", 1.0}, {"b", "a", 2.0},
+			},
+			firstSteps: []string{"attempt:sor"},
+			prefer:     "",
+		},
+		{
+			name: "stiff goes gth first",
+			rates: []Transition3{
+				{"a", "b", 1e-9}, {"b", "a", 5e6},
+			},
+			firstSteps: []string{"attempt:gth"},
+			prefer:     "gth",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCTMC()
+			for _, r := range tc.rates {
+				mustRate(t, c, r.From, r.To, r.Rate)
+			}
+			tr := obs.NewTrace("test")
+			if _, err := c.SteadyStateWithOptions(SteadyStateOptions{Method: "chain", Recorder: tr}); err != nil {
+				t.Fatal(err)
+			}
+			root := tr.Finish()
+			chain := findSpan(root, "guard.chain")
+			if chain == nil {
+				t.Fatal("no guard.chain span")
+			}
+			for i, want := range tc.firstSteps {
+				if i >= len(chain.Children) || chain.Children[i].Name != want {
+					t.Fatalf("attempt order = %v, want prefix %v", spanNames(chain.Children), tc.firstSteps)
+				}
+			}
+			ss := findSpan(root, "markov.steadystate")
+			got, _ := ss.Attr("struct_prefer")
+			if tc.prefer == "" && got != nil {
+				t.Errorf("unexpected struct_prefer = %v", got)
+			}
+			if tc.prefer != "" && got != tc.prefer {
+				t.Errorf("struct_prefer = %v, want %q", got, tc.prefer)
+			}
+		})
+	}
+}
+
+// Transition3 is a test helper triple.
+type Transition3 struct {
+	From, To string
+	Rate     float64
+}
+
+func spanNames(spans []*obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
 // TestDTMCChainEscalatesOnOscillation runs the "chain" method on a
-// periodic DTMC: power iteration oscillates forever, so the chain must
-// escalate to the dense GTH solve of P−I, which handles periodicity.
+// periodic DTMC: power iteration would oscillate forever, and the
+// structural analyzer detects the period up front and moves the dense GTH
+// solve of P−I first, so the doomed power attempt never runs.
 func TestDTMCChainEscalatesOnOscillation(t *testing.T) {
 	d := NewDTMC()
 	// Bipartite (period-2) chain a↔{b}, c↔{b} with stationary vector
@@ -89,6 +243,16 @@ func TestDTMCChainEscalatesOnOscillation(t *testing.T) {
 	}
 	if got, _ := chain.Attr("winner"); got != "gth" {
 		t.Errorf("chain winner = %v, want gth", got)
+	}
+	if findSpan(chain, "attempt:power") != nil {
+		t.Errorf("periodic chain still attempted power iteration: %+v", chain.Children)
+	}
+	ss := findSpan(root, "markov.dtmc.steadystate")
+	if ss == nil {
+		t.Fatal("no markov.dtmc.steadystate span")
+	}
+	if got, _ := ss.Attr("struct_prefer"); got != "gth" {
+		t.Errorf("struct_prefer = %v, want gth", got)
 	}
 }
 

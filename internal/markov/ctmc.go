@@ -181,23 +181,59 @@ func (c *CTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error
 		}
 		return pi, nil
 	case "chain":
-		pi, _, err := guard.RunChain(opts.Ctx, rec, "steadystate",
-			guard.Step[[]float64]{Name: "sor", Run: func(ctx context.Context, arec obs.Recorder) ([]float64, error) {
-				so := opts.SOR
-				so.Recorder = arec
-				so.Ctx = ctx
-				v, _, err := linalg.SORSteadyState(q, so)
-				if err != nil {
-					return nil, err
+		chainSteps := func(q *linalg.CSR) []guard.Step[[]float64] {
+			return []guard.Step[[]float64]{
+				{Name: "sor", Run: func(ctx context.Context, arec obs.Recorder) ([]float64, error) {
+					so := opts.SOR
+					so.Recorder = arec
+					so.Ctx = ctx
+					v, _, err := linalg.SORSteadyState(q, so)
+					if err != nil {
+						return nil, err
+					}
+					return v, nil
+				}},
+				{Name: "gth", Run: func(_ context.Context, arec obs.Recorder) ([]float64, error) {
+					return solveGTH(q, arec)
+				}},
+			}
+		}
+		steps := chainSteps(q)
+		// Before running, consult the static structural analysis: it may
+		// shrink the problem (solve only the recurrent class) and reorder
+		// the fallback steps (exact method first on a stiff chain). Both
+		// decisions are recorded on the steadystate span.
+		var members []int
+		if rep, serr := c.StructReport(); serr == nil {
+			h := rep.Hint
+			if h.Reason != "" && (h.Method != "" || h.Reduce == "restrict-recurrent") {
+				rec.Set(obs.S("struct_hint", h.Reason))
+			}
+			if h.Reduce == "restrict-recurrent" {
+				if sub, ms, rerr := c.restrictRecurrent(rep); rerr == nil {
+					if qsub, gerr := sub.Generator(); gerr == nil {
+						members = ms
+						steps = chainSteps(qsub)
+						rec.Set(obs.S("struct_reduce", "restrict-recurrent"),
+							obs.I("restrict_states", len(ms)))
+					}
 				}
-				return v, nil
-			}},
-			guard.Step[[]float64]{Name: "gth", Run: func(_ context.Context, arec obs.Recorder) ([]float64, error) {
-				return solveGTH(q, arec)
-			}},
-		)
+			}
+			if h.Method != "" {
+				steps = guard.Prefer(h.Method, steps...)
+				rec.Set(obs.S("struct_prefer", h.Method))
+			}
+		}
+		pi, _, err := guard.RunChain(opts.Ctx, rec, "steadystate", steps...)
 		if err != nil {
 			return nil, fmt.Errorf("markov steady state: %w", err)
+		}
+		if members != nil {
+			full := make([]float64, len(c.names))
+			for j, s := range members {
+				full[s] = pi[j]
+			}
+			pi = full
 		}
 		return pi, nil
 	}

@@ -148,18 +148,27 @@ func (d *DTMC) SteadyStateWithOptions(opts SteadyStateOptions) ([]float64, error
 		}
 		return pi, nil
 	case "chain":
-		pi, _, err := guard.RunChain(opts.Ctx, rec, "dtmc.steadystate",
-			guard.Step[[]float64]{Name: "power", Run: func(ctx context.Context, arec obs.Recorder) ([]float64, error) {
+		steps := []guard.Step[[]float64]{
+			{Name: "power", Run: func(ctx context.Context, arec obs.Recorder) ([]float64, error) {
 				v, _, err := linalg.PowerIterationOpts(p, linalg.PowerOptions{Recorder: arec, Ctx: ctx})
 				if err != nil {
 					return nil, err
 				}
 				return v, nil
 			}},
-			guard.Step[[]float64]{Name: "gth", Run: func(_ context.Context, arec obs.Recorder) ([]float64, error) {
+			{Name: "gth", Run: func(_ context.Context, arec obs.Recorder) ([]float64, error) {
 				return gth(arec)
 			}},
-		)
+		}
+		// A stiff or periodic chain defeats power iteration; the static
+		// analysis moves the exact method first instead of paying for the
+		// doomed attempt.
+		if rep, serr := d.StructReport(); serr == nil && rep.Hint.Method != "" {
+			steps = guard.Prefer(rep.Hint.Method, steps...)
+			rec.Set(obs.S("struct_hint", rep.Hint.Reason),
+				obs.S("struct_prefer", rep.Hint.Method))
+		}
+		pi, _, err := guard.RunChain(opts.Ctx, rec, "dtmc.steadystate", steps...)
 		if err != nil {
 			return nil, fmt.Errorf("markov dtmc steady state: %w", err)
 		}

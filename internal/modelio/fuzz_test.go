@@ -68,7 +68,7 @@ func FuzzLint(f *testing.F) {
 			if d.Code == "" {
 				t.Errorf("diagnostic without a code: %+v", d)
 			}
-			if d.Severity != lint.SevError && d.Severity != lint.SevWarning {
+			if d.Severity != lint.SevError && d.Severity != lint.SevWarning && d.Severity != lint.SevInfo {
 				t.Errorf("diagnostic with unknown severity %q: %+v", d.Severity, d)
 			}
 		}

@@ -170,6 +170,14 @@ func checkCTMCMeasures(spec *CTMCSpec) []lint.Diagnostic {
 			Msg: fmt.Sprintf("unknown solver %q (want auto, gth, sor, or chain)", spec.Solver),
 		})
 	}
+	switch spec.Lump {
+	case "", "auto", "off":
+	default:
+		ds = append(ds, lint.Diagnostic{
+			Code: lint.CodeSpecField, Severity: lint.SevError, Path: "ctmc.lump",
+			Msg: fmt.Sprintf("unknown lump mode %q (want auto or off)", spec.Lump),
+		})
+	}
 	if spec.SolverOmega != 0 && (spec.SolverOmega <= 0 || spec.SolverOmega >= 2) { //numvet:allow float-eq zero means unset; option-default sentinel
 		ds = append(ds, lint.Diagnostic{
 			Code: lint.CodeSpecField, Severity: lint.SevError, Path: "ctmc.solverOmega",

@@ -500,6 +500,17 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder, env solveEnv) ([]Result, error)
 	if rec.Enabled() {
 		rec.Set(obs.I("states", c.NumStates()), obs.I("transitions", len(spec.Transitions)))
 	}
+	initial, upStates, absorbing := spec.Initial, spec.UpStates, spec.Absorbing
+	if lumpEligible(spec) {
+		if lumped, toBlock := autoLump(c, spec, rec); lumped != nil {
+			c = lumped
+			upStates = mapToBlocks(upStates, toBlock)
+			absorbing = mapToBlocks(absorbing, toBlock)
+			if b, ok := toBlock[initial]; ok {
+				initial = b
+			}
+		}
+	}
 	ssOpts := func(sp obs.Recorder) markov.SteadyStateOptions {
 		return markov.SteadyStateOptions{
 			Method: spec.Solver,
@@ -530,7 +541,7 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder, env solveEnv) ([]Result, error)
 			}
 			out = append(out, Result{Measure: meas, Detail: pi})
 		case "availability":
-			if len(spec.UpStates) == 0 {
+			if len(upStates) == 0 {
 				return nil, fmt.Errorf("%w: availability needs upStates", ErrBadSpec)
 			}
 			pi, err := c.SteadyStateWithOptions(ssOpts(sp))
@@ -540,7 +551,7 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder, env solveEnv) ([]Result, error)
 			if err := env.rails.CheckProbVector("ctmc.availability", pi); err != nil {
 				return nil, err
 			}
-			v, err := c.ProbSum(pi, spec.UpStates...)
+			v, err := c.ProbSum(pi, upStates...)
 			if err != nil {
 				return nil, err
 			}
@@ -569,10 +580,10 @@ func solveCTMC(spec *CTMCSpec, rec obs.Recorder, env solveEnv) ([]Result, error)
 			}
 			out = append(out, Result{Measure: meas, Detail: detail})
 		case "mtta":
-			if spec.Initial == "" || len(spec.Absorbing) == 0 {
+			if initial == "" || len(absorbing) == 0 {
 				return nil, fmt.Errorf("%w: mtta needs initial and absorbing states", ErrBadSpec)
 			}
-			v, err := c.MTTF(spec.Initial, spec.Absorbing...)
+			v, err := c.MTTF(initial, absorbing...)
 			if err != nil {
 				return nil, err
 			}

@@ -182,6 +182,11 @@ type CTMCSpec struct {
 	// SolverOmega overrides the SOR relaxation factor (must lie in (0,2);
 	// 0 means the solver default).
 	SolverOmega float64 `json:"solverOmega,omitempty"`
+	// Lump controls the automatic state-space reduction pre-pass: "" or
+	// "auto" aggregates an exactly-lumpable chain before solving when
+	// every requested measure is preserved by the lumping (availability,
+	// mtta); "off" disables the pre-pass.
+	Lump string `json:"lump,omitempty"`
 }
 
 // CTMCTransition is one rate entry.

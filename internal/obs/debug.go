@@ -51,7 +51,7 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	RegisterDebug(mux, nil)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() {
+	go func() { //numvet:allow goroutine-no-ctx lifecycle is DebugServer.Close, not a context
 		// Serve returns ErrServerClosed on Close; nothing to report.
 		_ = srv.Serve(ln) //numvet:allow ignored-err shutdown race is benign for a debug endpoint
 	}()

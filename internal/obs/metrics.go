@@ -38,6 +38,8 @@ type MetricsRecorder struct {
 	winners   *metrics.Counter
 	outcomes  *metrics.Counter
 	railWarns *metrics.Counter
+	lumped    *metrics.Counter
+	lumpRatio *metrics.Gauge
 }
 
 // NewMetricsRecorder registers the relscope solver-metric families on reg
@@ -64,6 +66,10 @@ func NewMetricsRecorder(reg *metrics.Registry, model string) *MetricsRecorder {
 			"Guard outcomes observed on spans: canceled, deadline, panic, exhausted.", "outcome", "model"),
 		railWarns: reg.NewCounter("relscope_rail_warnings_total",
 			"Warn-mode numerical guard-rail violations by check site.", "op", "model"),
+		lumped: reg.NewCounter("relscope_lump_applied_total",
+			"Automatic lumping pre-passes applied before a solve.", "model"),
+		lumpRatio: reg.NewGauge("relscope_lump_reduction_ratio",
+			"Most recent state-space reduction ratio (states/blocks) from automatic lumping.", "model"),
 	}
 }
 
@@ -107,6 +113,15 @@ type metricsSpan struct {
 // absorb inspects attributes for the keys the bridge aggregates.
 func (s *metricsSpan) absorb(attrs []Attr) {
 	for _, a := range attrs {
+		if a.Key == "lump_ratio" {
+			// The one float the bridge aggregates: a "relstruct.lump" span
+			// announcing an applied state-space reduction.
+			if f, ok := a.Value().(float64); ok {
+				s.m.lumped.Inc(s.m.model)
+				s.m.lumpRatio.Set(f, s.m.model)
+			}
+			continue
+		}
 		v, isString := a.Value().(string)
 		if !isString {
 			continue

@@ -1,0 +1,434 @@
+package relstruct
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// coarsestPartition computes the coarsest ordinarily-lumpable partition
+// refining the seed: states sharing a block must have identical aggregate
+// outflow into every other block (the ordinary-lumpability condition) and
+// identical total exit weight — without the exit-weight constraint the
+// one-block partition is vacuously lumpable and the refinement would
+// report every chain as collapsible to a point; with it the aggregated
+// chain also keeps the original sojourn structure.
+//
+// The refinement is worklist-driven: when a block splits, only the blocks
+// holding predecessors of its states (whose signatures referenced it) and
+// the new sub-blocks themselves are re-examined, so long propagation
+// chains (ladders) cost O(states + transitions) per split instead of a
+// full O(states·transitions) synchronous sweep. Refinement is confluent,
+// so the processing order does not change the fixed point. Returns the
+// per-state block id (blocks numbered by smallest member state index)
+// and the block count.
+//
+// Signatures are computed into stamped scratch arrays and grouped by a
+// compact byte key — no per-state maps — so a refinement pass over a
+// block costs O(members + their out-edges) with a handful of
+// allocations, keeping the pre-pass cheap even on 10^4-state chains.
+func coarsestPartition(in Input) ([]int, int) {
+	n := in.States
+	tol := in.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	blockOf := make([]int, n)
+	nblocks := 1
+	if in.Seed != nil {
+		seen := map[int]int{}
+		next := 0
+		for i, lab := range in.Seed {
+			id, ok := seen[lab]
+			if !ok {
+				id = next
+				seen[lab] = id
+				next++
+			}
+			blockOf[i] = id
+		}
+		nblocks = next
+	}
+
+	adj, totalOut := aggregateEdges(n, in.Trans)
+	pred := reverseAdjacency(n, adj)
+
+	members := make([][]int, nblocks, n)
+	for s := 0; s < n; s++ {
+		members[blockOf[s]] = append(members[blockOf[s]], s)
+	}
+
+	queue := make([]int, 0, nblocks)
+	queued := make([]bool, nblocks, n)
+	enqueue := func(b int) {
+		if !queued[b] {
+			queued[b] = true
+			queue = append(queue, b)
+		}
+	}
+	for b := 0; b < nblocks; b++ {
+		enqueue(b)
+	}
+
+	sc := newSigScratch(n)
+	// budget bounds the total signature work. Symmetric models converge
+	// in a handful of splits; adversarial shapes (long ladders of
+	// all-distinct states) would otherwise peel one state per split for
+	// O(states²) work. When the budget runs out the remaining multi-state
+	// blocks explode to singletons — a finer-than-coarsest answer that is
+	// still trivially lumpable, so the result errs toward "no reduction",
+	// never toward a wrong one.
+	budget := 64*n + 1024
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		ms := members[b]
+		if len(ms) <= 1 {
+			continue
+		}
+		budget -= len(ms)
+		if budget < 0 {
+			for _, s := range ms[1:] {
+				blockOf[s] = nblocks
+				members = append(members, []int{s})
+				queued = append(queued, false)
+				nblocks++
+			}
+			members[b] = ms[:1]
+			continue
+		}
+		sc.reset()
+		sigs := make([]sig, len(ms))
+		for i, s := range ms {
+			sigs[i] = sc.sigOf(s, blockOf, adj, totalOut)
+		}
+		groups := splitBlock(ms, sigs, tol)
+		if len(groups) == 1 {
+			continue
+		}
+		// The first group keeps id b; the rest get fresh ids. Everything
+		// that could see the split — the sub-blocks (intra flows became
+		// inter) and every block holding a predecessor of the old block's
+		// states — goes back on the worklist.
+		members[b] = groups[0]
+		enqueue(b)
+		for _, g := range groups[1:] {
+			id := nblocks
+			nblocks++
+			members = append(members, g)
+			queued = append(queued, false)
+			for _, s := range g {
+				blockOf[s] = id
+			}
+			enqueue(id)
+		}
+		for _, s := range ms {
+			for _, p := range pred.neighbors(s) {
+				enqueue(blockOf[p])
+			}
+		}
+	}
+	return renumberBySmallestMember(blockOf, nblocks), nblocks
+}
+
+// csr is a compact adjacency: neighbors(i) slices the shared backing
+// arrays, so building and walking it allocates O(1) beyond the arrays.
+type csr struct {
+	off []int32
+	to  []int32
+	w   []float64
+}
+
+func (c csr) neighborsW(i int) ([]int32, []float64) {
+	return c.to[c.off[i]:c.off[i+1]], c.w[c.off[i]:c.off[i+1]]
+}
+
+func (c csr) neighbors(i int) []int32 {
+	return c.to[c.off[i]:c.off[i+1]]
+}
+
+// aggregateEdges sums parallel edges and drops self-loops (a self-loop
+// never crosses a block border so it cannot influence any per-block
+// signature entry; it still counts toward the total exit weight),
+// returning the forward adjacency and per-state total exit weights.
+func aggregateEdges(n int, trans []Transition) (csr, []float64) {
+	totalOut := make([]float64, n)
+	counts := make([]int32, n+1)
+	for _, t := range trans {
+		totalOut[t.From] += t.Weight
+		if t.From != t.To {
+			counts[t.From+1]++
+		}
+	}
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + counts[i+1]
+	}
+	to := make([]int32, off[n])
+	w := make([]float64, off[n])
+	fill := make([]int32, n)
+	for _, t := range trans {
+		if t.From == t.To {
+			continue
+		}
+		p := off[t.From] + fill[t.From]
+		to[p] = int32(t.To)
+		w[p] = t.Weight
+		fill[t.From]++
+	}
+	// Aggregate duplicates per row: sort each row segment by target in
+	// place, then compact (rows are short; the total work is O(E log deg)).
+	// With sorted rows the compaction reads left to right, so the write
+	// cursor never overtakes an unread entry even though it shares the
+	// backing arrays.
+	out := csr{off: make([]int32, n+1), to: to[:0], w: w[:0]}
+	for i := 0; i < n; i++ {
+		lo, hi := off[i], off[i+1]
+		sort.Sort(rowSorter{to: to[lo:hi], w: w[lo:hi]})
+		for p := lo; p < hi; p++ {
+			if p > lo && to[p] == out.to[len(out.to)-1] {
+				out.w[len(out.w)-1] += w[p]
+				continue
+			}
+			t, wt := to[p], w[p]
+			out.to = append(out.to, t)
+			out.w = append(out.w, wt)
+		}
+		out.off[i+1] = int32(len(out.to))
+	}
+	return out, totalOut
+}
+
+// rowSorter orders one adjacency-row segment by target state.
+type rowSorter struct {
+	to []int32
+	w  []float64
+}
+
+func (r rowSorter) Len() int           { return len(r.to) }
+func (r rowSorter) Less(i, j int) bool { return r.to[i] < r.to[j] }
+func (r rowSorter) Swap(i, j int) {
+	r.to[i], r.to[j] = r.to[j], r.to[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}
+
+// reverseAdjacency builds the predecessor lists of an aggregated
+// adjacency (weights are irrelevant for invalidation, so only targets
+// are kept).
+func reverseAdjacency(n int, adj csr) csr {
+	counts := make([]int32, n+1)
+	for _, t := range adj.to {
+		counts[t+1]++
+	}
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + counts[i+1]
+	}
+	to := make([]int32, off[n])
+	fill := make([]int32, n)
+	for from := 0; from < n; from++ {
+		for _, t := range adj.neighbors(from) {
+			to[off[t]+fill[t]] = int32(from)
+			fill[t]++
+		}
+	}
+	return csr{off: off, to: to}
+}
+
+// sig is one state's block-outflow signature: the total exit weight plus
+// the aggregate outflow into each foreign block, sorted by block id.
+// entries aliases the owning sigScratch's arena and is only valid until
+// the next block is processed.
+type sig struct {
+	exit    float64
+	blocks  []int32
+	weights []float64
+}
+
+// sigScratch holds the stamped accumulation arrays reused across every
+// signature computation: acc[b] is the running outflow into block b,
+// valid only when mark[b] equals the current stamp.
+type sigScratch struct {
+	acc     []float64
+	mark    []int64
+	stamp   int64
+	touched []int32
+	// arenas back the per-block sig slices; reset per processed block.
+	blocksArena  []int32
+	weightsArena []float64
+}
+
+func newSigScratch(n int) *sigScratch {
+	// Block ids never exceed the state count (blocks partition states).
+	return &sigScratch{acc: make([]float64, n+1), mark: make([]int64, n+1)}
+}
+
+// reset recycles the arenas once the previous block's signatures are no
+// longer referenced.
+func (sc *sigScratch) reset() {
+	sc.blocksArena = sc.blocksArena[:0]
+	sc.weightsArena = sc.weightsArena[:0]
+}
+
+// sigOf computes one state's current signature against the running
+// partition. The returned slices alias the scratch arenas.
+func (sc *sigScratch) sigOf(s int, blockOf []int, adj csr, totalOut []float64) sig {
+	sc.stamp++
+	sc.touched = sc.touched[:0]
+	own := blockOf[s]
+	tos, ws := adj.neighborsW(s)
+	for k, to := range tos {
+		tb := int32(blockOf[to])
+		if int(tb) == own {
+			continue
+		}
+		if sc.mark[tb] != sc.stamp {
+			sc.mark[tb] = sc.stamp
+			sc.acc[tb] = 0
+			sc.touched = append(sc.touched, tb)
+		}
+		sc.acc[tb] += ws[k]
+	}
+	sort.Slice(sc.touched, func(a, b int) bool { return sc.touched[a] < sc.touched[b] })
+	start := len(sc.blocksArena)
+	for _, tb := range sc.touched {
+		sc.blocksArena = append(sc.blocksArena, tb)
+		sc.weightsArena = append(sc.weightsArena, sc.acc[tb])
+	}
+	return sig{
+		exit:    totalOut[s],
+		blocks:  sc.blocksArena[start:],
+		weights: sc.weightsArena[start:],
+	}
+}
+
+// splitBlock partitions one block's members (in state-index order) into
+// groups with matching signatures. Exact-bit grouping handles the common
+// symmetric-model case in O(members); the few surviving group
+// representatives are then pairwise-merged under the relative tolerance.
+func splitBlock(members []int, sigs []sig, tol float64) [][]int {
+	if len(members) <= 1 {
+		return [][]int{members}
+	}
+	byKey := map[string]int{}
+	var groups [][]int
+	var groupSig []sig
+	var keyBuf []byte
+	for i, s := range members {
+		keyBuf = sigs[i].appendKey(keyBuf[:0])
+		gi, ok := byKey[string(keyBuf)]
+		if !ok {
+			gi = len(groups)
+			byKey[string(keyBuf)] = gi
+			groups = append(groups, nil)
+			groupSig = append(groupSig, sigs[i])
+		}
+		groups[gi] = append(groups[gi], s)
+	}
+	if len(groups) == 1 {
+		return groups
+	}
+	// Merge exact groups whose representatives agree within tolerance
+	// (rounding at the bit level can split values that are numerically
+	// the same aggregate rate).
+	var merged [][]int
+	var reps []sig
+	for gi, g := range groups {
+		placed := false
+		for mi := range merged {
+			if sameSig(reps[mi], groupSig[gi], tol) {
+				merged[mi] = append(merged[mi], g...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			merged = append(merged, g)
+			reps = append(reps, groupSig[gi])
+		}
+	}
+	for _, g := range merged {
+		sort.Ints(g)
+	}
+	return merged
+}
+
+// appendKey renders the signature as an exact, order-independent byte
+// key (entries are already sorted by block id).
+func (s sig) appendKey(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.exit))
+	for i, b := range s.blocks {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(b))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.weights[i]))
+	}
+	return buf
+}
+
+// sameSig compares two block-outflow signatures within a relative
+// tolerance (mirroring markov's lumpability check, so the refinement here
+// and the verification in markov.Lump agree on what counts as uniform).
+// Entries are sorted by block id, so the comparison is a merge walk; a
+// block absent from one side matches an exact zero on the other.
+func sameSig(a, b sig, tol float64) bool {
+	if !closeEnough(a.exit, b.exit, tol) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a.blocks) || j < len(b.blocks) {
+		switch {
+		case j >= len(b.blocks) || (i < len(a.blocks) && a.blocks[i] < b.blocks[j]):
+			if a.weights[i] != 0 { //numvet:allow float-eq an absent key only matches an exact zero
+				return false
+			}
+			i++
+		case i >= len(a.blocks) || b.blocks[j] < a.blocks[i]:
+			if b.weights[j] != 0 { //numvet:allow float-eq an absent key only matches an exact zero
+				return false
+			}
+			j++
+		default:
+			if !closeEnough(a.weights[i], b.weights[j], tol) {
+				return false
+			}
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+func closeEnough(ra, rb, tol float64) bool {
+	scale := math.Max(math.Abs(ra), math.Abs(rb))
+	if scale == 0 { //numvet:allow float-eq both rates exactly zero compare equal; guards the division below
+		return true
+	}
+	return math.Abs(ra-rb)/scale <= tol
+}
+
+// renumberBySmallestMember relabels blocks so ids ascend with each
+// block's smallest state index, making reports independent of refinement
+// order.
+func renumberBySmallestMember(blockOf []int, nblocks int) []int {
+	first := make([]int, nblocks)
+	for i := range first {
+		first[i] = len(blockOf)
+	}
+	for s := len(blockOf) - 1; s >= 0; s-- {
+		first[blockOf[s]] = s
+	}
+	order := make([]int, nblocks)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return first[order[a]] < first[order[b]] })
+	renum := make([]int, nblocks)
+	for newID, old := range order {
+		renum[old] = newID
+	}
+	out := make([]int, len(blockOf))
+	for s, b := range blockOf {
+		out[s] = renum[b]
+	}
+	return out
+}

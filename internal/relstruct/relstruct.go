@@ -1,0 +1,508 @@
+// Package relstruct statically analyzes the structure of Markov chain
+// generators — the model-level analogue of cmd/numvet's source hygiene
+// pass. Without solving anything it computes, in one O(states +
+// transitions·log) sweep over the transition graph:
+//
+//   - the SCC condensation with every communicating class labeled
+//     recurrent (closed) or transient, absorbing states called out, and —
+//     for discrete chains — the period of each recurrent class;
+//   - a stiffness estimate: the rate-ratio spread inside each recurrent
+//     class, the quantity that stalls iterative steady-state solvers;
+//   - the coarsest ordinarily-lumpable partition, found by signature-based
+//     partition refinement from a caller-supplied seed (up/down sets,
+//     absorbing targets), which is what makes automatic state-space
+//     reduction safe for availability and MTTA measures;
+//   - a solver hint distilled from the above: prefer the exact method
+//     first when the chain is stiff or periodic, restrict to the single
+//     recurrent class when transient states carry no stationary mass, or
+//     lump before solving.
+//
+// The package is deliberately dependency-free (stdlib only): internal/lint,
+// internal/markov, and internal/modelio all build on it, so it must sit
+// below every solver package in the import graph.
+package relstruct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// StiffThreshold is the within-class rate-ratio spread beyond which a
+// chain counts as stiff: iterative methods (SOR, power iteration) need
+// iteration counts on the order of the ratio to propagate probability
+// mass between the fast and slow time scales, so exact elimination (GTH)
+// or uniformization-first ordering wins.
+const StiffThreshold = 1e6
+
+// ExtremeSpanThreshold is the global rate spread beyond which double
+// precision itself becomes the limiting factor and rescaling time units
+// is advisable regardless of solver.
+const ExtremeSpanThreshold = 1e12
+
+// partitionCap bounds the state count up to which the lumping partition
+// is spelled out state-by-state in the JSON report; beyond it only the
+// block count and ratio are reported, keeping analyze output bounded.
+const partitionCap = 256
+
+// Transition is one weighted edge of the chain under analysis: a rate for
+// continuous chains, a probability for discrete ones.
+type Transition struct {
+	From, To int
+	Weight   float64
+}
+
+// Input describes a chain to Analyze. States are identified by index;
+// Names is optional and only affects report readability.
+type Input struct {
+	// States is the number of states (indices 0..States-1).
+	States int
+	// Names labels the states; nil synthesizes "s0", "s1", ….
+	Names []string
+	// Trans lists the transitions. Self-loops are permitted (they matter
+	// for discrete-chain periodicity) and multiple entries for one pair
+	// accumulate.
+	Trans []Transition
+	// Discrete marks a DTMC: weights are probabilities and recurrent
+	// classes get a periodicity analysis.
+	Discrete bool
+	// Seed is an optional initial partition for the lumpability
+	// refinement: states with different seed labels never share a block.
+	// Callers seed with the sets their measures distinguish (up states,
+	// absorbing targets) so the coarsest refinement preserves those
+	// measures exactly. Nil starts from one all-states block.
+	Seed []int
+	// Tol is the relative tolerance for comparing aggregated weights
+	// during lumpability refinement (0 means 1e-9).
+	Tol float64
+}
+
+// Class is one communicating class (SCC) of the chain.
+type Class struct {
+	// Index is the class's position in the report (ordered by smallest
+	// member state index).
+	Index int `json:"index"`
+	// States lists the member state names, sorted by state index.
+	States []string `json:"states"`
+	// Recurrent marks a closed class (no transitions leave it); open
+	// classes are transient.
+	Recurrent bool `json:"recurrent"`
+	// Absorbing marks a single-state recurrent class.
+	Absorbing bool `json:"absorbing,omitempty"`
+	// Period is the class period for discrete chains (1 = aperiodic);
+	// omitted for continuous chains and classes without internal
+	// transitions.
+	Period int `json:"period,omitempty"`
+	// RateRatio is the max/min spread of transition weights inside a
+	// recurrent class (the per-class stiffness estimate); omitted for
+	// transient classes and classes without internal transitions.
+	RateRatio float64 `json:"rateRatio,omitempty"`
+}
+
+// Stiffness summarizes the rate-scale analysis.
+type Stiffness struct {
+	// RateMin and RateMax bound the positive transition weights of the
+	// whole chain.
+	RateMin float64 `json:"rateMin,omitempty"`
+	RateMax float64 `json:"rateMax,omitempty"`
+	// Ratio is the global spread RateMax/RateMin.
+	Ratio float64 `json:"ratio,omitempty"`
+	// MaxClassRatio is the largest within-recurrent-class spread — the
+	// number that actually predicts iterative-solver stalling.
+	MaxClassRatio float64 `json:"maxClassRatio,omitempty"`
+	// Stiff reports MaxClassRatio ≥ StiffThreshold.
+	Stiff bool `json:"stiff"`
+}
+
+// Lumping summarizes the coarsest ordinarily-lumpable partition that
+// also preserves every state's total exit rate (so the aggregated chain
+// keeps the original sojourn structure and markov.Lump accepts it).
+type Lumping struct {
+	// Blocks is the number of blocks of the coarsest partition.
+	Blocks int `json:"blocks"`
+	// Ratio is States/Blocks — the state-space reduction factor an exact
+	// lumping pre-pass achieves.
+	Ratio float64 `json:"ratio"`
+	// Lumpable reports Blocks < States.
+	Lumpable bool `json:"lumpable"`
+	// Partition spells out the blocks (members sorted by state index,
+	// blocks ordered by smallest member) when the chain is lumpable and
+	// small enough to print (see partitionCap). The first member of each
+	// block is its canonical representative.
+	Partition [][]string `json:"partition,omitempty"`
+
+	// blockOf maps state index -> block id; kept out of the JSON (the
+	// Partition field is the readable form) but always populated so
+	// programmatic callers can lump without re-deriving it.
+	blockOf []int
+}
+
+// BlockOf returns the block id (0-based, ordered by smallest member
+// state index) of each state, regardless of partitionCap.
+func (l *Lumping) BlockOf() []int {
+	out := make([]int, len(l.blockOf))
+	copy(out, l.blockOf)
+	return out
+}
+
+// Hint is the solver advice distilled from the structure.
+type Hint struct {
+	// Method names the chain-solver step to try first ("gth" when the
+	// chain is stiff or periodic); "" keeps the default order.
+	Method string `json:"method,omitempty"`
+	// Reduce names the applicable state-space reduction:
+	// "restrict-recurrent" (solve only the single recurrent class) or
+	// "lump" (aggregate symmetric states first).
+	Reduce string `json:"reduce,omitempty"`
+	// Reason explains the advice for traces and reports.
+	Reason string `json:"reason,omitempty"`
+}
+
+// StructReport is the full static analysis of one chain.
+type StructReport struct {
+	States      int  `json:"states"`
+	Transitions int  `json:"transitions"`
+	Discrete    bool `json:"discrete,omitempty"`
+	// Irreducible reports a single communicating class.
+	Irreducible bool `json:"irreducible"`
+	// RecurrentClasses counts the closed classes; TransientStates counts
+	// states outside every closed class.
+	RecurrentClasses int `json:"recurrentClasses"`
+	TransientStates  int `json:"transientStates"`
+	// Components counts weakly connected components; >1 means the chain
+	// splits into independent sub-chains.
+	Components int     `json:"components"`
+	Classes    []Class `json:"classes"`
+	// AbsorbingStates lists the states forming single-state recurrent
+	// classes, sorted by state index.
+	AbsorbingStates []string  `json:"absorbingStates,omitempty"`
+	Stiffness       Stiffness `json:"stiffness"`
+	Lumping         Lumping   `json:"lumping"`
+	Hint            Hint      `json:"hint"`
+
+	names   []string
+	classOf []int
+}
+
+// StateNames returns the (possibly synthesized) state names in index order.
+func (r *StructReport) StateNames() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// ClassOf returns each state's class index into Classes.
+func (r *StructReport) ClassOf() []int {
+	out := make([]int, len(r.classOf))
+	copy(out, r.classOf)
+	return out
+}
+
+// RecurrentMembers returns the state indices of the i-th recurrent class
+// (in report order), sorted ascending.
+func (r *StructReport) RecurrentMembers(i int) []int {
+	seen := 0
+	for ci, cl := range r.Classes {
+		if !cl.Recurrent {
+			continue
+		}
+		if seen == i {
+			var out []int
+			for s, c := range r.classOf {
+				if c == ci {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+		seen++
+	}
+	return nil
+}
+
+// Errors returned by Analyze.
+var (
+	ErrEmpty    = errors.New("relstruct: chain has no states")
+	ErrBadInput = errors.New("relstruct: invalid input")
+)
+
+// Analyze computes the full structural report.
+func Analyze(in Input) (*StructReport, error) {
+	n := in.States
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	names := in.Names
+	if names == nil {
+		names = make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("s%d", i)
+		}
+	}
+	if len(names) != n {
+		return nil, fmt.Errorf("%w: %d names for %d states", ErrBadInput, len(names), n)
+	}
+	if in.Seed != nil && len(in.Seed) != n {
+		return nil, fmt.Errorf("%w: seed len %d for %d states", ErrBadInput, len(in.Seed), n)
+	}
+	adj := make([][]int, n)
+	for _, t := range in.Trans {
+		if t.From < 0 || t.From >= n || t.To < 0 || t.To >= n {
+			return nil, fmt.Errorf("%w: transition %d -> %d outside 0..%d", ErrBadInput, t.From, t.To, n-1)
+		}
+		adj[t.From] = append(adj[t.From], t.To)
+	}
+
+	rep := &StructReport{
+		States:      n,
+		Transitions: len(in.Trans),
+		Discrete:    in.Discrete,
+		names:       names,
+	}
+
+	rep.classOf, rep.Classes = condense(n, adj, names)
+	markClosedClasses(rep, in.Trans)
+	rep.Components = weakComponents(n, in.Trans)
+	if in.Discrete {
+		periods(rep, adj)
+	}
+	stiffness(rep, in.Trans)
+	lumpability(rep, in, names)
+	rep.Hint = hint(rep)
+	return rep, nil
+}
+
+// markClosedClasses flags recurrent/absorbing classes and fills the
+// summary counters.
+func markClosedClasses(rep *StructReport, trans []Transition) {
+	closed := make([]bool, len(rep.Classes))
+	size := make([]int, len(rep.Classes))
+	for i := range closed {
+		closed[i] = true
+	}
+	for _, c := range rep.classOf {
+		size[c]++
+	}
+	for _, t := range trans {
+		if cf := rep.classOf[t.From]; cf != rep.classOf[t.To] {
+			closed[cf] = false
+		}
+	}
+	for i := range rep.Classes {
+		cl := &rep.Classes[i]
+		cl.Recurrent = closed[i]
+		if closed[i] {
+			rep.RecurrentClasses++
+			if size[i] == 1 {
+				cl.Absorbing = true
+				rep.AbsorbingStates = append(rep.AbsorbingStates, cl.States[0])
+			}
+		} else {
+			rep.TransientStates += size[i]
+		}
+	}
+	rep.Irreducible = len(rep.Classes) == 1
+}
+
+// periods computes the period of every recurrent class of a discrete
+// chain: the gcd of (level[u]+1-level[v]) over the class's internal edges,
+// with BFS levels from the class's smallest member.
+func periods(rep *StructReport, adj [][]int) {
+	n := len(rep.classOf)
+	level := make([]int, n)
+	for ci := range rep.Classes {
+		cl := &rep.Classes[ci]
+		if !cl.Recurrent {
+			continue
+		}
+		// Find the smallest member index.
+		root := -1
+		for s := 0; s < n && root < 0; s++ {
+			if rep.classOf[s] == ci {
+				root = s
+			}
+		}
+		for s := 0; s < n; s++ {
+			level[s] = -1
+		}
+		level[root] = 0
+		queue := []int{root}
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, w := range adj[u] {
+				if rep.classOf[w] != ci {
+					continue
+				}
+				if level[w] < 0 {
+					level[w] = level[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		g := 0
+		for _, u := range queue {
+			for _, w := range adj[u] {
+				if rep.classOf[w] != ci {
+					continue
+				}
+				g = gcd(g, abs(level[u]+1-level[w]))
+			}
+		}
+		cl.Period = g
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// stiffness fills the global and per-recurrent-class rate-ratio spreads.
+func stiffness(rep *StructReport, trans []Transition) {
+	gMin, gMax := math.Inf(1), 0.0
+	cMin := make([]float64, len(rep.Classes))
+	cMax := make([]float64, len(rep.Classes))
+	for i := range cMin {
+		cMin[i] = math.Inf(1)
+	}
+	for _, t := range trans {
+		w := t.Weight
+		if !(w > 0) || math.IsInf(w, 0) {
+			continue
+		}
+		gMin = math.Min(gMin, w)
+		gMax = math.Max(gMax, w)
+		cf := rep.classOf[t.From]
+		if rep.classOf[t.To] == cf && rep.Classes[cf].Recurrent {
+			cMin[cf] = math.Min(cMin[cf], w)
+			cMax[cf] = math.Max(cMax[cf], w)
+		}
+	}
+	if gMax > 0 && !math.IsInf(gMin, 1) {
+		rep.Stiffness.RateMin = gMin
+		rep.Stiffness.RateMax = gMax
+		rep.Stiffness.Ratio = gMax / gMin
+	}
+	for i := range rep.Classes {
+		if cMax[i] > 0 && !math.IsInf(cMin[i], 1) {
+			ratio := cMax[i] / cMin[i]
+			rep.Classes[i].RateRatio = ratio
+			rep.Stiffness.MaxClassRatio = math.Max(rep.Stiffness.MaxClassRatio, ratio)
+		}
+	}
+	rep.Stiffness.Stiff = rep.Stiffness.MaxClassRatio >= StiffThreshold
+}
+
+// lumpability runs the partition refinement and fills the Lumping section.
+func lumpability(rep *StructReport, in Input, names []string) {
+	blockOf, blocks := coarsestPartition(in)
+	rep.Lumping.blockOf = blockOf
+	rep.Lumping.Blocks = blocks
+	rep.Lumping.Ratio = float64(rep.States) / float64(blocks)
+	rep.Lumping.Lumpable = blocks < rep.States
+	if rep.Lumping.Lumpable && rep.States <= partitionCap {
+		members := make([][]string, blocks)
+		for s, b := range blockOf {
+			members[b] = append(members[b], names[s])
+		}
+		rep.Lumping.Partition = members
+	}
+}
+
+// hint distills the solver advice.
+func hint(rep *StructReport) Hint {
+	var h Hint
+	switch {
+	case rep.Stiffness.Stiff:
+		h.Method = "gth"
+		h.Reason = fmt.Sprintf("stiff: within-class rate ratio %.3g exceeds %.0e", rep.Stiffness.MaxClassRatio, float64(StiffThreshold))
+	case rep.Discrete && maxPeriod(rep) > 1:
+		h.Method = "gth"
+		h.Reason = fmt.Sprintf("periodic: recurrent class with period %d defeats power iteration", maxPeriod(rep))
+	}
+	switch {
+	case rep.RecurrentClasses == 1 && rep.TransientStates > 0:
+		h.Reduce = "restrict-recurrent"
+		if h.Reason == "" {
+			h.Reason = fmt.Sprintf("%d transient state(s) carry no stationary mass; solve the single recurrent class", rep.TransientStates)
+		}
+	case rep.Lumping.Lumpable:
+		h.Reduce = "lump"
+		if h.Reason == "" {
+			h.Reason = fmt.Sprintf("exactly lumpable: %d states aggregate to %d blocks", rep.States, rep.Lumping.Blocks)
+		}
+	}
+	return h
+}
+
+func maxPeriod(rep *StructReport) int {
+	p := 0
+	for _, cl := range rep.Classes {
+		if cl.Recurrent && cl.Period > p {
+			p = cl.Period
+		}
+	}
+	return p
+}
+
+// NamedTransition is one named-state edge for FromNamed.
+type NamedTransition struct {
+	From, To string
+	Weight   float64
+}
+
+// FromNamed builds an Input by interning state names in order of first
+// appearance, matching how markov.CTMC numbers its states.
+func FromNamed(trans []NamedTransition, discrete bool) Input {
+	index := make(map[string]int, len(trans)/2+1)
+	names := make([]string, 0, len(trans)/2+1)
+	intern := func(name string) int {
+		if i, ok := index[name]; ok {
+			return i
+		}
+		i := len(names)
+		index[name] = i
+		names = append(names, name)
+		return i
+	}
+	ts := make([]Transition, 0, len(trans))
+	for _, t := range trans {
+		ts = append(ts, Transition{From: intern(t.From), To: intern(t.To), Weight: t.Weight})
+	}
+	return Input{States: len(names), Names: names, Trans: ts, Discrete: discrete}
+}
+
+// SeedSets builds a seed partition from membership sets: two states share
+// a seed label iff they belong to exactly the same subset of the given
+// sets. Measures that only distinguish those sets (availability over up
+// states, MTTA into absorbing targets) are then preserved exactly by any
+// refinement of the seed.
+func SeedSets(names []string, sets ...[]string) []int {
+	member := make([]map[string]bool, len(sets))
+	for i, set := range sets {
+		member[i] = make(map[string]bool, len(set))
+		for _, s := range set {
+			member[i][s] = true
+		}
+	}
+	seed := make([]int, len(names))
+	for i, name := range names {
+		mask := 0
+		for j := range sets {
+			if member[j][name] {
+				mask |= 1 << j
+			}
+		}
+		seed[i] = mask
+	}
+	return seed
+}

@@ -1,0 +1,289 @@
+package relstruct
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// chain builds an Input from named transitions.
+func chain(discrete bool, trans ...NamedTransition) Input {
+	return FromNamed(trans, discrete)
+}
+
+func TestIrreducibleBirthDeath(t *testing.T) {
+	rep, err := Analyze(chain(false,
+		NamedTransition{"up", "deg", 0.5},
+		NamedTransition{"deg", "down", 0.4},
+		NamedTransition{"down", "deg", 1.2},
+		NamedTransition{"deg", "up", 2.0},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Irreducible || rep.RecurrentClasses != 1 || rep.TransientStates != 0 {
+		t.Fatalf("want irreducible single recurrent class, got %+v", rep)
+	}
+	if rep.Components != 1 {
+		t.Fatalf("components = %d, want 1", rep.Components)
+	}
+	if len(rep.Classes) != 1 || !rep.Classes[0].Recurrent || rep.Classes[0].Absorbing {
+		t.Fatalf("classes = %+v", rep.Classes)
+	}
+	if got := rep.Classes[0].RateRatio; math.Abs(got-5.0) > 1e-12 {
+		t.Fatalf("rate ratio = %g, want 5", got)
+	}
+	if rep.Stiffness.Stiff {
+		t.Fatalf("chain misreported stiff: %+v", rep.Stiffness)
+	}
+	// Distinct rates: every state is its own block.
+	if rep.Lumping.Blocks != 3 || rep.Lumping.Lumpable {
+		t.Fatalf("lumping = %+v", rep.Lumping)
+	}
+	if rep.Hint.Method != "" || rep.Hint.Reduce != "" {
+		t.Fatalf("unexpected hint %+v", rep.Hint)
+	}
+}
+
+func TestAbsorbingClassification(t *testing.T) {
+	rep, err := Analyze(chain(false,
+		NamedTransition{"ok", "deg", 0.2},
+		NamedTransition{"deg", "ok", 1.0},
+		NamedTransition{"deg", "failed", 0.1},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Irreducible {
+		t.Fatal("chain with absorbing state reported irreducible")
+	}
+	if rep.RecurrentClasses != 1 || rep.TransientStates != 2 {
+		t.Fatalf("recurrent=%d transient=%d, want 1/2", rep.RecurrentClasses, rep.TransientStates)
+	}
+	if !reflect.DeepEqual(rep.AbsorbingStates, []string{"failed"}) {
+		t.Fatalf("absorbing = %v", rep.AbsorbingStates)
+	}
+	// {ok,deg} communicate and come first (smallest member order).
+	if !reflect.DeepEqual(rep.Classes[0].States, []string{"ok", "deg"}) || rep.Classes[0].Recurrent {
+		t.Fatalf("class 0 = %+v", rep.Classes[0])
+	}
+	if !rep.Classes[1].Absorbing {
+		t.Fatalf("class 1 = %+v", rep.Classes[1])
+	}
+	if rep.Hint.Reduce != "restrict-recurrent" {
+		t.Fatalf("hint = %+v", rep.Hint)
+	}
+	if got := rep.RecurrentMembers(0); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("recurrent members = %v", got)
+	}
+}
+
+func TestMultipleRecurrentClasses(t *testing.T) {
+	rep, err := Analyze(chain(false,
+		NamedTransition{"start", "a", 1},
+		NamedTransition{"start", "b", 1},
+		NamedTransition{"a", "a2", 1},
+		NamedTransition{"a2", "a", 1},
+		NamedTransition{"b", "b2", 1},
+		NamedTransition{"b2", "b", 1},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecurrentClasses != 2 || rep.TransientStates != 1 {
+		t.Fatalf("recurrent=%d transient=%d, want 2/1", rep.RecurrentClasses, rep.TransientStates)
+	}
+	if rep.Hint.Reduce == "restrict-recurrent" {
+		t.Fatalf("restrict hint with two recurrent classes: %+v", rep.Hint)
+	}
+}
+
+func TestStiffnessHint(t *testing.T) {
+	rep, err := Analyze(chain(false,
+		NamedTransition{"up", "down", 1e-9},
+		NamedTransition{"down", "up", 5e6},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stiffness.Stiff {
+		t.Fatalf("stiffness = %+v", rep.Stiffness)
+	}
+	if rep.Stiffness.MaxClassRatio < 1e15 {
+		t.Fatalf("class ratio = %g", rep.Stiffness.MaxClassRatio)
+	}
+	if rep.Hint.Method != "gth" {
+		t.Fatalf("hint = %+v", rep.Hint)
+	}
+}
+
+func TestDTMCPeriodicity(t *testing.T) {
+	rep, err := Analyze(chain(true,
+		NamedTransition{"a", "b", 1},
+		NamedTransition{"b", "a", 1},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classes[0].Period != 2 {
+		t.Fatalf("period = %d, want 2", rep.Classes[0].Period)
+	}
+	if rep.Hint.Method != "gth" {
+		t.Fatalf("hint = %+v", rep.Hint)
+	}
+
+	// A self-loop makes the class aperiodic.
+	rep, err = Analyze(chain(true,
+		NamedTransition{"a", "b", 0.5},
+		NamedTransition{"b", "a", 1},
+		NamedTransition{"a", "a", 0.5},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classes[0].Period != 1 {
+		t.Fatalf("period = %d, want 1", rep.Classes[0].Period)
+	}
+	if rep.Hint.Method != "" {
+		t.Fatalf("hint = %+v", rep.Hint)
+	}
+}
+
+// TestLumpableSymmetricPair checks the coarsest partition of two
+// identical independent components: the detailed 4-state chain lumps to
+// the 3-state failure-count chain once up/down states are seeded apart.
+func TestLumpableSymmetricPair(t *testing.T) {
+	lam, mu := 0.01, 1.0
+	in := chain(false,
+		NamedTransition{"00", "01", lam},
+		NamedTransition{"00", "10", lam},
+		NamedTransition{"01", "11", lam},
+		NamedTransition{"10", "11", lam},
+		NamedTransition{"01", "00", mu},
+		NamedTransition{"10", "00", mu},
+		NamedTransition{"11", "01", mu},
+		NamedTransition{"11", "10", mu},
+	)
+	in.Seed = SeedSets(in.Names, []string{"00", "01", "10"})
+	rep, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Lumping.Lumpable || rep.Lumping.Blocks != 3 {
+		t.Fatalf("lumping = %+v", rep.Lumping)
+	}
+	want := [][]string{{"00"}, {"01", "10"}, {"11"}}
+	if !reflect.DeepEqual(rep.Lumping.Partition, want) {
+		t.Fatalf("partition = %v, want %v", rep.Lumping.Partition, want)
+	}
+	if got := rep.Lumping.BlockOf(); !reflect.DeepEqual(got, []int{0, 1, 1, 2}) {
+		t.Fatalf("blockOf = %v", got)
+	}
+	if rep.Hint.Reduce != "lump" {
+		t.Fatalf("hint = %+v", rep.Hint)
+	}
+}
+
+// TestSeedKeepsSetsApart: a seed split must never be merged back even
+// when outflows agree perfectly.
+func TestSeedKeepsSetsApart(t *testing.T) {
+	in := chain(false,
+		NamedTransition{"a", "c", 1},
+		NamedTransition{"b", "c", 1},
+		NamedTransition{"c", "a", 0.5},
+		NamedTransition{"c", "b", 0.5},
+	)
+	in.Seed = SeedSets(in.Names, []string{"a"})
+	rep, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range rep.Lumping.Partition {
+		for _, s := range block {
+			if s == "a" && len(block) > 1 {
+				t.Fatalf("seeded state merged: %v", block)
+			}
+		}
+	}
+	if rep.Lumping.Blocks != 3 {
+		t.Fatalf("blocks = %d, want 3 (a alone, b alone after split, c)", rep.Lumping.Blocks)
+	}
+}
+
+func TestAsymmetricNotLumpable(t *testing.T) {
+	rep, err := Analyze(chain(false,
+		NamedTransition{"x", "y", 1},
+		NamedTransition{"y", "z", 2},
+		NamedTransition{"z", "x", 3},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lumping.Lumpable {
+		t.Fatalf("asymmetric cycle reported lumpable: %+v", rep.Lumping)
+	}
+}
+
+func TestWeakComponents(t *testing.T) {
+	rep, err := Analyze(chain(false,
+		NamedTransition{"a", "b", 1},
+		NamedTransition{"b", "a", 1},
+		NamedTransition{"c", "d", 1},
+		NamedTransition{"d", "c", 1},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Components != 2 {
+		t.Fatalf("components = %d, want 2", rep.Components)
+	}
+	if rep.RecurrentClasses != 2 {
+		t.Fatalf("recurrent classes = %d, want 2", rep.RecurrentClasses)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Analyze(Input{}); err == nil {
+		t.Fatal("empty input did not error")
+	}
+	if _, err := Analyze(Input{States: 2, Trans: []Transition{{From: 0, To: 5, Weight: 1}}}); err == nil {
+		t.Fatal("out-of-range transition did not error")
+	}
+	if _, err := Analyze(Input{States: 2, Seed: []int{0}}); err == nil {
+		t.Fatal("short seed did not error")
+	}
+}
+
+// TestDeepChainIterativeSCC guards the iterative Tarjan against stack
+// overflow on long ladders (the recursive form dies around 1e5 frames
+// under -race).
+func TestDeepChainIterativeSCC(t *testing.T) {
+	const n = 20000
+	trans := make([]NamedTransition, 0, 2*n)
+	name := func(i int) string { return "s" + itoa(i) }
+	for i := 0; i < n-1; i++ {
+		trans = append(trans, NamedTransition{name(i), name(i + 1), 1.0})
+		trans = append(trans, NamedTransition{name(i + 1), name(i), 2.0})
+	}
+	rep, err := Analyze(FromNamed(trans, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Irreducible {
+		t.Fatal("ladder not irreducible")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -71,7 +71,7 @@ func PropagateParallel(ctx context.Context, model Model, params []Param, opts Op
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //numvet:allow goroutine-no-ctx workers drain the jobs channel, which the feeder closes on cancellation
 			defer wg.Done()
 			assign := make(map[string]float64, len(params))
 			for j := range jobs {

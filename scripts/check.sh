@@ -31,6 +31,11 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 echo "== numvet"
 go run ./cmd/numvet ./internal/...
 
+# Static structural analysis over every bundled model except the
+# deliberately-broken lint fixtures; fails on error-severity findings.
+echo "== relcli analyze"
+go run ./cmd/relcli analyze $(ls models/*.json | grep -v broken_)
+
 # Solver performance gate: one suite run compared against the committed
 # baseline with a wide band (10x + 250ms) so only order-of-magnitude
 # regressions fail CI regardless of machine speed. Tighten locally with
