@@ -7,6 +7,7 @@
 //	relcli solve [-timeout 30s] [-rails strict|warn|off] model.json
 //	relcli solve [-log text|json] [-log-level debug] model.json
 //	relcli serve [-addr 127.0.0.1:8080] [-log json] [-max-inflight 8] [-timeout 30s]
+//	relcli serve [-ui=false] [-trace-store-size 256] [-bench BENCH_solvers.json]
 //	cat system.json | relcli [-json]
 //	relcli lint [-json] model.json [model.json ...]
 //	relcli analyze [-json] model.json [model.json ...]
@@ -29,10 +30,20 @@
 // The serve subcommand turns the same pipeline into a long-running HTTP
 // service: POST /solve takes a model document and returns {model,
 // results} (add ?trace=1 for the span tree), GET /metrics exposes the
-// relscope registry for scraping, GET /healthz is a liveness probe, and
-// /debug/pprof/ plus /debug/vars mirror the standalone debug server. It
-// drains gracefully on SIGINT/SIGTERM; solves still running after -grace
-// are canceled through the guard context plumbing.
+// relscope registry for scraping, GET /healthz reports liveness as JSON
+// (uptime, in-flight solves, trace-store occupancy), and /debug/pprof/
+// plus /debug/vars mirror the standalone debug server. It drains
+// gracefully on SIGINT/SIGTERM; solves still running after -grace are
+// canceled through the guard context plumbing.
+//
+// Every completed /solve and /analyze request is retained in a bounded
+// in-memory trace store (-trace-store-size, default 256, oldest
+// evicted first) behind the embedded reldash dashboard: GET /ui lists
+// retained traces with filters and metric highlights, /ui/trace/{id}
+// shows one solve's span tree with residual-convergence sparklines, and
+// the JSON APIs /api/traces, /api/traces/{id}, /api/metrics, /api/bench
+// (the committed baseline named by -bench), and /api/summary back it.
+// Disable the whole surface with -ui=false. See internal/reldash.
 //
 // The lint subcommand statically checks model documents without solving
 // them, printing one diagnostic per line; it exits nonzero when any

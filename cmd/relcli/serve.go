@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/modelio"
 	"repro/internal/obs"
+	"repro/internal/reldash"
 )
 
 // maxSolveBody bounds the accepted model-document size; anything larger
@@ -41,31 +43,50 @@ type serveConfig struct {
 	// Rails and Preflight mirror the solve-subcommand flags.
 	Rails     guard.Strictness
 	Preflight bool
+	// UI mounts the reldash dashboard at /ui with its /api/* routes.
+	UI bool
+	// TraceStoreSize bounds the retained completed-solve traces backing
+	// the dashboard (0 means the 256 default).
+	TraceStoreSize int
+	// BenchPath locates the committed bench baseline for /api/bench.
+	BenchPath string
 }
 
 // solveServer is the long-running HTTP solve service behind
 // `relcli serve`.
 type solveServer struct {
-	cfg serveConfig
-	sem chan struct{}
+	cfg   serveConfig
+	sem   chan struct{}
+	store *obs.TraceStore
+	win   *reldash.Window
+	start time.Time
 
 	requests *metrics.Counter
 	latency  *metrics.Histogram
 	inflight *metrics.Gauge
 }
 
-// newServeMux builds the service routes: POST /solve, GET /healthz, and
-// the obs debug surface (/metrics, /debug/vars, /debug/pprof/).
-func newServeMux(cfg serveConfig) *http.ServeMux {
+// newServeMux builds the service routes: POST /solve, POST /analyze,
+// GET /healthz, the obs debug surface (/metrics, /debug/vars,
+// /debug/pprof/), and — unless cfg.UI is false — the reldash dashboard
+// (/ui, /api/*). The error is a dashboard construction failure (broken
+// embedded template), impossible once TestParseTemplates passes.
+func newServeMux(cfg serveConfig) (*http.ServeMux, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = metrics.Default()
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 8
 	}
+	if cfg.TraceStoreSize <= 0 {
+		cfg.TraceStoreSize = 256
+	}
 	s := &solveServer{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.MaxInflight),
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		store: obs.NewTraceStore(cfg.TraceStoreSize),
+		win:   reldash.NewWindow(time.Minute),
+		start: time.Now(),
 		requests: cfg.Registry.NewCounter("relscope_solve_requests_total",
 			"Solve requests handled, by HTTP status code.", "code"),
 		latency: cfg.Registry.NewHistogram("relscope_http_request_seconds",
@@ -78,12 +99,51 @@ func newServeMux(cfg serveConfig) *http.ServeMux {
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	obs.RegisterDebug(mux, cfg.Registry)
-	return mux
+	if cfg.UI {
+		dash, err := reldash.NewHandler(reldash.Config{
+			Store:     s.store,
+			Registry:  cfg.Registry,
+			BenchPath: cfg.BenchPath,
+			Window:    s.win,
+			InFlight:  func() int { return int(s.inflight.Value()) },
+			Start:     s.start,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dash.Register(mux)
+	}
+	return mux, nil
+}
+
+// healthzResponse is the GET /healthz reply: not just liveness but the
+// operational context a probe (or a human with curl) wants first.
+type healthzResponse struct {
+	Status   string           `json:"status"`
+	UptimeS  float64          `json:"uptime_s"`
+	InFlight int              `json:"in_flight"`
+	Store    healthzOccupancy `json:"trace_store"`
+}
+
+type healthzOccupancy struct {
+	Len int `json:"len"`
+	Cap int `json:"cap"`
 }
 
 func (s *solveServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(healthzResponse{
+		Status:   "ok",
+		UptimeS:  time.Since(s.start).Seconds(),
+		InFlight: int(s.inflight.Value()),
+		Store:    healthzOccupancy{Len: s.store.Len(), Cap: s.store.Cap()},
+	})
+	if err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("healthz response write failed", "err", err)
+	}
 }
 
 // solveResponse is the POST /solve reply document.
@@ -104,6 +164,7 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		s.requests.Inc(strconv.Itoa(code))
 		s.latency.Observe(time.Since(start).Seconds(), "/solve")
+		s.win.Record(code >= 400)
 	}()
 
 	select {
@@ -127,12 +188,10 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var tr *obs.Trace
-	recs := []obs.Recorder{obs.NewMetricsRecorder(s.cfg.Registry, spec.Name)}
-	if r.URL.Query().Get("trace") != "" {
-		tr = obs.NewTrace(rootName(spec))
-		recs = append(recs, tr)
-	}
+	// Every solve is traced so the store retains its span tree for the
+	// dashboard; the response only carries the tree when asked (?trace=1).
+	tr := obs.NewTrace(rootName(spec))
+	recs := []obs.Recorder{obs.NewMetricsRecorder(s.cfg.Registry, spec.Name), tr}
 	if s.cfg.Logger != nil {
 		recs = append(recs, obs.NewSlogRecorder(s.cfg.Logger))
 	}
@@ -144,13 +203,20 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Rails:     s.cfg.Rails,
 	})
 	resp := solveResponse{Model: spec.Name, Results: results}
-	if tr != nil {
+	if r.URL.Query().Get("trace") != "" {
 		resp.Trace = tr.Finish()
 	}
 	if err != nil {
 		code = solveErrorStatus(err)
 		resp.Error = err.Error()
 	}
+	rec := obs.RecordFromTrace(tr, rootName(spec), "solve")
+	rec.Start = start
+	rec.Outcome = solveOutcome(err)
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.store.Put(rec)
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("solve request",
 			"model", spec.Name, "type", spec.Type, "status", code,
@@ -169,17 +235,66 @@ func (s *solveServer) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	defer func() {
 		s.latency.Observe(time.Since(start).Seconds(), "/analyze")
+		s.win.Record(code >= 400)
 	}()
-	rep := analyzeDocument("<request>", io.LimitReader(r.Body, maxSolveBody))
+	// The body is read once and re-parsed from memory: analyzeDocument
+	// consumes the reader, and the trace store wants the model's name.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSolveBody))
+	if err != nil {
+		code = http.StatusBadRequest
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", err.Error())
+		return
+	}
+	rep := analyzeDocument("<request>", bytes.NewReader(body))
 	if lint.HasErrors(rep.Diagnostics) {
 		code = http.StatusUnprocessableEntity
 	}
+	s.store.Put(obs.TraceRecord{
+		Model:    analyzeModelName(body),
+		Endpoint: "analyze",
+		Outcome:  analyzeOutcome(code),
+		Start:    start,
+		WallMS:   float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil && s.cfg.Logger != nil {
 		s.cfg.Logger.Warn("analyze response write failed", "err", err)
+	}
+}
+
+// analyzeModelName extracts the spec name for the trace-store record; an
+// unparseable document is still retained, labeled as such.
+func analyzeModelName(body []byte) string {
+	spec, err := modelio.Parse(bytes.NewReader(body))
+	if err != nil || spec.Name == "" {
+		return "<unparsed>"
+	}
+	return spec.Name
+}
+
+func analyzeOutcome(code int) string {
+	if code == http.StatusOK {
+		return "ok"
+	}
+	return "error"
+}
+
+// solveOutcome classifies how a solve ended for trace-store filtering.
+func solveOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, guard.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, guard.ErrCanceled):
+		return "canceled"
+	default:
+		return "error"
 	}
 }
 
@@ -257,6 +372,9 @@ func runServe(args []string, stdout io.Writer) error {
 	rails := fs.String("rails", "", "numerical guard-rail strictness: strict, warn (default), or off")
 	preflight := fs.Bool("preflight", false, "lint each model and refuse to solve on errors")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown drain period before in-flight solves are canceled")
+	ui := fs.Bool("ui", true, "mount the reldash dashboard at /ui (and its /api/* routes)")
+	traceStoreSize := fs.Int("trace-store-size", 256, "completed solve traces retained for the dashboard")
+	benchPath := fs.String("bench", "BENCH_solvers.json", "bench baseline JSON backing /api/bench")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -270,14 +388,20 @@ func runServe(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	mux := newServeMux(serveConfig{
-		Registry:     metrics.Default(),
-		Logger:       logger,
-		MaxInflight:  *maxInflight,
-		SolveTimeout: *timeout,
-		Rails:        guard.Strictness(*rails),
-		Preflight:    *preflight,
+	mux, err := newServeMux(serveConfig{
+		Registry:       metrics.Default(),
+		Logger:         logger,
+		MaxInflight:    *maxInflight,
+		SolveTimeout:   *timeout,
+		Rails:          guard.Strictness(*rails),
+		Preflight:      *preflight,
+		UI:             *ui,
+		TraceStoreSize: *traceStoreSize,
+		BenchPath:      *benchPath,
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -287,7 +411,7 @@ func runServe(args []string, stdout io.Writer) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(stdout, "relcli: serving on http://%s (POST /solve, /metrics, /healthz, /debug/pprof/)\n",
+	fmt.Fprintf(stdout, "relcli: serving on http://%s (POST /solve, /ui, /metrics, /healthz, /debug/pprof/)\n",
 		ln.Addr())
 	select {
 	case err := <-errc:

@@ -15,6 +15,17 @@ import (
 	"repro/internal/metrics"
 )
 
+// mustServeMux builds the serve routes or fails the test; the only
+// error path is a broken embedded dashboard template.
+func mustServeMux(t *testing.T, cfg serveConfig) *http.ServeMux {
+	t.Helper()
+	mux, err := newServeMux(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mux
+}
+
 // postModel POSTs a bundled model file at the handler and returns the
 // recorder.
 func postModel(t *testing.T, h http.Handler, path, query string) *httptest.ResponseRecorder {
@@ -44,7 +55,7 @@ func scrubSamples(s string) string {
 // the request counter, the per-solver wall-time histograms, and the
 // guard/fallback counters. The scrubbed exposition output is golden.
 func TestServeSolveAndMetricsGolden(t *testing.T) {
-	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry(), MaxInflight: 2})
+	mux := mustServeMux(t, serveConfig{Registry: metrics.NewRegistry(), MaxInflight: 2})
 
 	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
 	if w.Code != http.StatusOK {
@@ -118,7 +129,7 @@ func TestServeSolveAndMetricsGolden(t *testing.T) {
 // TestServeTraceQuery checks ?trace=1 returns the request-scoped span
 // tree alongside the results.
 func TestServeTraceQuery(t *testing.T) {
-	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry()})
+	mux := mustServeMux(t, serveConfig{Registry: metrics.NewRegistry()})
 	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "?trace=1")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
@@ -140,7 +151,7 @@ func TestServeTraceQuery(t *testing.T) {
 }
 
 func TestServeRejectsBadInput(t *testing.T) {
-	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry()})
+	mux := mustServeMux(t, serveConfig{Registry: metrics.NewRegistry()})
 
 	req := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader("{not json"))
 	w := httptest.NewRecorder()
@@ -167,7 +178,7 @@ func TestServeRejectsBadInput(t *testing.T) {
 // TestServeTimeout pins the guard plumbing: a sub-microsecond solve
 // budget must surface as 504 with the deadline error in the body.
 func TestServeTimeout(t *testing.T) {
-	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry(), SolveTimeout: time.Nanosecond})
+	mux := mustServeMux(t, serveConfig{Registry: metrics.NewRegistry(), SolveTimeout: time.Nanosecond})
 	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
 	if w.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
@@ -177,13 +188,43 @@ func TestServeTimeout(t *testing.T) {
 	}
 }
 
+// TestServeHealthz checks /healthz reports liveness as JSON with the
+// operational context: uptime, in-flight solves, trace-store occupancy.
 func TestServeHealthz(t *testing.T) {
-	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry()})
+	mux := mustServeMux(t, serveConfig{Registry: metrics.NewRegistry(), TraceStoreSize: 4})
+	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("warm-up solve: status %d", w.Code)
+	}
 	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
-	w := httptest.NewRecorder()
+	w = httptest.NewRecorder()
 	mux.ServeHTTP(w, req)
-	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
-		t.Errorf("healthz: %d %q", w.Code, w.Body.String())
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("healthz Content-Type %q", ct)
+	}
+	if cc := w.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("healthz Cache-Control %q, want no-store", cc)
+	}
+	var h struct {
+		Status   string  `json:"status"`
+		UptimeS  float64 `json:"uptime_s"`
+		InFlight int     `json:"in_flight"`
+		Store    struct {
+			Len int `json:"len"`
+			Cap int `json:"cap"`
+		} `json:"trace_store"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, w.Body.String())
+	}
+	if h.Status != "ok" || h.UptimeS < 0 || h.InFlight != 0 {
+		t.Errorf("healthz body: %+v", h)
+	}
+	if h.Store.Len != 1 || h.Store.Cap != 4 {
+		t.Errorf("trace_store occupancy = %+v, want 1/4 after one solve", h.Store)
 	}
 }
 
@@ -195,7 +236,7 @@ func TestServeStructuredLogs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry(), Logger: logger})
+	mux := mustServeMux(t, serveConfig{Registry: metrics.NewRegistry(), Logger: logger})
 	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d", w.Code)
@@ -213,7 +254,7 @@ func TestServeStructuredLogs(t *testing.T) {
 // returns the structural report without solving, and answers 422 when
 // the document has error-severity findings.
 func TestServeAnalyze(t *testing.T) {
-	mux := newServeMux(serveConfig{Registry: metrics.NewRegistry(), MaxInflight: 2})
+	mux := mustServeMux(t, serveConfig{Registry: metrics.NewRegistry(), MaxInflight: 2})
 
 	body, err := os.ReadFile(filepath.Join("..", "..", "models", "absorbing.json"))
 	if err != nil {

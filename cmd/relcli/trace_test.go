@@ -12,11 +12,16 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
-// wallRE scrubs the only nondeterministic field of a trace document.
-var wallRE = regexp.MustCompile(`"wall_ns": \d+`)
+// wallRE and wallMSRE scrub the only nondeterministic fields of a trace
+// document: wall-clock durations in both units.
+var (
+	wallRE   = regexp.MustCompile(`"wall_ns": \d+`)
+	wallMSRE = regexp.MustCompile(`"wall_ms": [0-9.e+-]+`)
+)
 
 func scrubWall(s string) string {
-	return wallRE.ReplaceAllString(s, `"wall_ns": 0`)
+	s = wallRE.ReplaceAllString(s, `"wall_ns": 0`)
+	return wallMSRE.ReplaceAllString(s, `"wall_ms": 0`)
 }
 
 // TestSolveTraceJSONGolden locks the -trace-json document shape for a

@@ -152,6 +152,79 @@ func Write(path string, entries []experiments.BenchEntry) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// TrendPoint is one experiment's compact row in the dashboard's
+// /api/bench payload: the committed BENCH_solvers.json trend with
+// explicit median/p95 naming.
+type TrendPoint struct {
+	// ID names the experiment ("E1"…).
+	ID string `json:"id"`
+	// Title is the experiment's one-line description.
+	Title string `json:"title"`
+	// Solver is the dominant solver recorded in the baseline.
+	Solver string `json:"solver,omitempty"`
+	// MedianMS and P95MS are the aggregated wall times in milliseconds.
+	MedianMS float64 `json:"median_ms"`
+	P95MS    float64 `json:"p95_ms,omitempty"`
+	// Iterations is the deterministic iteration count.
+	Iterations int `json:"iterations,omitempty"`
+	// Runs is how many suite runs the record aggregates.
+	Runs int `json:"runs,omitempty"`
+}
+
+// Trend maps bench records to trend rows sorted by numeric experiment ID
+// (E2 before E10, which a lexical sort gets wrong).
+func Trend(entries []experiments.BenchEntry) []TrendPoint {
+	out := make([]TrendPoint, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, TrendPoint{
+			ID:         e.ID,
+			Title:      e.Title,
+			Solver:     e.Solver,
+			MedianMS:   e.WallMS,
+			P95MS:      e.WallMSP95,
+			Iterations: e.Iterations,
+			Runs:       e.Runs,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ni, iOK := experimentNumber(out[i].ID)
+		nj, jOK := experimentNumber(out[j].ID)
+		if iOK && jOK && ni != nj {
+			return ni < nj
+		}
+		if iOK != jOK {
+			return iOK // numbered experiments before oddly-named ones
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// experimentNumber parses the numeric part of an "E<n>" experiment ID.
+func experimentNumber(id string) (int, bool) {
+	if len(id) < 2 || id[0] != 'E' {
+		return 0, false
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// LoadTrend reads a committed bench baseline and returns its trend rows;
+// the one-call path behind the dashboard's /api/bench.
+func LoadTrend(path string) ([]TrendPoint, error) {
+	entries, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Trend(entries), nil
+}
+
 // median returns the middle value (mean of the middle pair for even
 // counts); zero for an empty slice.
 func median(vs []float64) float64 {

@@ -142,3 +142,47 @@ func TestMedianAndPercentile(t *testing.T) {
 		t.Errorf("p50 of 1..10 = %g", got)
 	}
 }
+
+// TestTrendSortsNumerically: E2 must sort before E10, and the trend rows
+// must carry the median/p95 fields the dashboard renders.
+func TestTrendSortsNumerically(t *testing.T) {
+	entries := []experiments.BenchEntry{
+		{ID: "E10", Title: "ten", Solver: "gth", WallMS: 5, WallMSP95: 9, Runs: 3},
+		{ID: "E2", Title: "two", Solver: "bdd", WallMS: 1, WallMSP95: 2, Iterations: 7, Runs: 3},
+	}
+	trend := Trend(entries)
+	if len(trend) != 2 || trend[0].ID != "E2" || trend[1].ID != "E10" {
+		t.Fatalf("trend order: %+v", trend)
+	}
+	p := trend[0]
+	if p.MedianMS != 1 || p.P95MS != 2 || p.Iterations != 7 || p.Solver != "bdd" || p.Runs != 3 {
+		t.Errorf("trend row lost fields: %+v", p)
+	}
+}
+
+// TestLoadTrendFromCommittedBaseline reads the repo's own baseline file.
+func TestLoadTrendFromCommittedBaseline(t *testing.T) {
+	trend, err := LoadTrend(filepath.Join("..", "..", "BENCH_solvers.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend) < 10 {
+		t.Fatalf("baseline trend has %d rows, want the full suite", len(trend))
+	}
+	for i := 1; i < len(trend); i++ {
+		ni, _ := experimentNumber(trend[i-1].ID)
+		nj, _ := experimentNumber(trend[i].ID)
+		if ni >= nj {
+			t.Errorf("trend not in numeric order: %s then %s", trend[i-1].ID, trend[i].ID)
+		}
+	}
+	if trend[0].MedianMS <= 0 {
+		t.Errorf("E1 median = %v, want > 0", trend[0].MedianMS)
+	}
+}
+
+func TestLoadTrendMissingFile(t *testing.T) {
+	if _, err := LoadTrend(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -18,63 +17,33 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // exposition format v0.0.4. Output is deterministic: families sort by
 // name, series by label values, and HELP/TYPE lines appear even for
 // families with no series yet (so dashboards and golden tests see the
-// full schema before the first event).
+// full schema before the first event). It renders from the same
+// Snapshot the JSON API serves, so the two surfaces cannot drift.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-
 	bw := bufio.NewWriter(w)
-	for _, f := range fams {
-		if err := f.write(bw); err != nil {
+	for _, f := range r.Snapshot() {
+		if err := writeFamily(bw, f); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// snapshotSeries returns the family's series sorted by label values.
-func (f *family) snapshotSeries() []*series {
-	f.mu.Lock()
-	out := make([]*series, 0, len(f.series))
-	for _, s := range f.series {
-		cp := &series{
-			labelValues: s.labelValues,
-			val:         s.val,
-			sum:         s.sum,
-			count:       s.count,
-		}
-		if s.buckets != nil {
-			cp.buckets = append([]uint64(nil), s.buckets...)
-		}
-		out = append(out, cp)
-	}
-	f.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		return joinKey(out[i].labelValues) < joinKey(out[j].labelValues)
-	})
-	return out
-}
-
-func (f *family) write(w *bufio.Writer) error {
-	if f.help != "" {
-		if _, err := w.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n"); err != nil {
+func writeFamily(w *bufio.Writer, f FamilySnapshot) error {
+	if f.Help != "" {
+		if _, err := w.WriteString("# HELP " + f.Name + " " + escapeHelp(f.Help) + "\n"); err != nil {
 			return err
 		}
 	}
-	if _, err := w.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n"); err != nil {
+	if _, err := w.WriteString("# TYPE " + f.Name + " " + f.Kind + "\n"); err != nil {
 		return err
 	}
-	for _, s := range f.snapshotSeries() {
+	for _, s := range f.Series {
 		var err error
-		if f.kind == kindHistogram {
-			err = f.writeHistogramSeries(w, s)
+		if f.Kind == "histogram" {
+			err = writeHistogramSeries(w, f, s)
 		} else {
-			err = writeSample(w, f.name, f.labels, s.labelValues, "", "", s.val)
+			err = writeSample(w, f.Name, f.LabelNames, s.LabelValues, "", "", s.Value)
 		}
 		if err != nil {
 			return err
@@ -86,21 +55,21 @@ func (f *family) write(w *bufio.Writer) error {
 // writeHistogramSeries emits the _bucket/_sum/_count triplet for one
 // series. Bucket counts are stored cumulatively (Observe increments every
 // bucket whose bound admits the value), matching the le semantics.
-func (f *family) writeHistogramSeries(w *bufio.Writer, s *series) error {
-	for i, ub := range f.bounds {
-		if err := writeSample(w, f.name+"_bucket", f.labels, s.labelValues,
-			"le", formatFloat(ub), float64(s.buckets[i])); err != nil {
+func writeHistogramSeries(w *bufio.Writer, f FamilySnapshot, s SeriesSnapshot) error {
+	for i, ub := range f.Bounds {
+		if err := writeSample(w, f.Name+"_bucket", f.LabelNames, s.LabelValues,
+			"le", formatFloat(ub), float64(s.Buckets[i])); err != nil {
 			return err
 		}
 	}
-	if err := writeSample(w, f.name+"_bucket", f.labels, s.labelValues,
-		"le", "+Inf", float64(s.count)); err != nil {
+	if err := writeSample(w, f.Name+"_bucket", f.LabelNames, s.LabelValues,
+		"le", "+Inf", float64(s.Count)); err != nil {
 		return err
 	}
-	if err := writeSample(w, f.name+"_sum", f.labels, s.labelValues, "", "", s.sum); err != nil {
+	if err := writeSample(w, f.Name+"_sum", f.LabelNames, s.LabelValues, "", "", s.Sum); err != nil {
 		return err
 	}
-	return writeSample(w, f.name+"_count", f.labels, s.labelValues, "", "", float64(s.count))
+	return writeSample(w, f.Name+"_count", f.LabelNames, s.LabelValues, "", "", float64(s.Count))
 }
 
 // writeSample emits one `name{labels} value` line. extraName/extraValue

@@ -1,0 +1,105 @@
+package metrics
+
+import "sort"
+
+// SeriesSnapshot is one labeled time series at a point in time. Counters
+// and gauges populate Value; histograms populate Buckets/Sum/Count
+// (Buckets are cumulative counts per bound, matching Prometheus `le`
+// semantics, with the implicit +Inf bucket equal to Count).
+type SeriesSnapshot struct {
+	// LabelValues align with the family's LabelNames.
+	LabelValues []string `json:"label_values,omitempty"`
+	// Value is the counter or gauge value.
+	Value float64 `json:"value"`
+	// Buckets are cumulative observation counts per family bound.
+	Buckets []uint64 `json:"buckets,omitempty"`
+	// Sum and Count are the histogram's running totals.
+	Sum   float64 `json:"sum,omitempty"`
+	Count uint64  `json:"count,omitempty"`
+}
+
+// FamilySnapshot is one metric family — name, schema, and every series —
+// as structured Go values. It is the single source of truth behind both
+// the Prometheus exposition writer and the dashboard's /api/metrics JSON,
+// so the two surfaces cannot disagree about what the registry holds.
+type FamilySnapshot struct {
+	// Name is the family name ("relscope_solver_wall_seconds", …).
+	Name string `json:"name"`
+	// Help is the registration help string.
+	Help string `json:"help,omitempty"`
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string `json:"kind"`
+	// LabelNames fixes the label schema shared by every series.
+	LabelNames []string `json:"label_names,omitempty"`
+	// Bounds are the histogram bucket upper bounds (+Inf implicit).
+	Bounds []float64 `json:"bounds,omitempty"`
+	// Series holds every labeled series, sorted by label values.
+	Series []SeriesSnapshot `json:"series,omitempty"`
+}
+
+// Snapshot captures every registered family with deterministic ordering:
+// families sort by name, series by label values. Families with no series
+// yet still appear (empty Series), so consumers see the full schema
+// before the first event — the same contract WritePrometheus has always
+// had for HELP/TYPE lines.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.snapshot())
+	}
+	return out
+}
+
+// snapshotSeries returns the family's series sorted by label values.
+func (f *family) snapshotSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		cp := &series{
+			labelValues: s.labelValues,
+			val:         s.val,
+			sum:         s.sum,
+			count:       s.count,
+		}
+		if s.buckets != nil {
+			cp.buckets = append([]uint64(nil), s.buckets...)
+		}
+		out = append(out, cp)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return joinKey(out[i].labelValues) < joinKey(out[j].labelValues)
+	})
+	return out
+}
+
+// snapshot renders one family into its exported form.
+func (f *family) snapshot() FamilySnapshot {
+	fs := FamilySnapshot{
+		Name:       f.name,
+		Help:       f.help,
+		Kind:       f.kind.String(),
+		LabelNames: append([]string(nil), f.labels...),
+		Bounds:     append([]float64(nil), f.bounds...),
+	}
+	series := f.snapshotSeries()
+	fs.Series = make([]SeriesSnapshot, 0, len(series))
+	for _, s := range series {
+		fs.Series = append(fs.Series, SeriesSnapshot{
+			LabelValues: s.labelValues,
+			Value:       s.val,
+			Buckets:     s.buckets,
+			Sum:         s.sum,
+			Count:       s.count,
+		})
+	}
+	return fs
+}

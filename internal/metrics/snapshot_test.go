@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotStructure: the structured export carries every family with
+// its schema and series, deterministically ordered.
+func TestSnapshotStructure(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("zz_requests_total", "Requests.", "code")
+	c.Add(3, "200")
+	c.Inc("500")
+	g := r.NewGauge("aa_inflight", "In flight.")
+	g.Set(2)
+	h := r.NewHistogram("mm_wall_seconds", "Wall.", []float64{0.1, 1}, "solver")
+	h.Observe(0.05, "sor")
+	h.Observe(5, "sor")
+
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	byName := make(map[string]FamilySnapshot, len(snap))
+	for i, f := range snap {
+		names[i] = f.Name
+		byName[f.Name] = f
+	}
+	// Families sort by name; the dropped self-metric is always present.
+	want := []string{"aa_inflight", "mm_wall_seconds", "relscope_metrics_dropped_total", "zz_requests_total"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("family order = %v, want %v", names, want)
+	}
+
+	ctr := byName["zz_requests_total"]
+	if ctr.Kind != "counter" || !reflect.DeepEqual(ctr.LabelNames, []string{"code"}) {
+		t.Errorf("counter schema: %+v", ctr)
+	}
+	if len(ctr.Series) != 2 || ctr.Series[0].LabelValues[0] != "200" || ctr.Series[0].Value != 3 {
+		t.Errorf("counter series: %+v", ctr.Series)
+	}
+
+	hist := byName["mm_wall_seconds"]
+	if hist.Kind != "histogram" || !reflect.DeepEqual(hist.Bounds, []float64{0.1, 1}) {
+		t.Fatalf("histogram schema: %+v", hist)
+	}
+	s := hist.Series[0]
+	if !reflect.DeepEqual(s.Buckets, []uint64{1, 1}) || s.Count != 2 || s.Sum != 5.05 {
+		t.Errorf("histogram series: %+v", s)
+	}
+
+	if byName["aa_inflight"].Series[0].Value != 2 {
+		t.Errorf("gauge series: %+v", byName["aa_inflight"].Series)
+	}
+}
+
+// TestSnapshotMatchesExposition: the Prometheus writer renders from the
+// snapshot, so every snapshot family and series value must appear in the
+// exposition output.
+func TestSnapshotMatchesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "X.", "k").Add(7, "v")
+	r.NewHistogram("y_seconds", "Y.", []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`x_total{k="v"} 7`,
+		`y_seconds_bucket{le="1"} 1`,
+		`y_seconds_bucket{le="+Inf"} 1`,
+		`y_seconds_sum 0.5`,
+		`y_seconds_count 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnapshotIsACopy: mutating the registry after Snapshot must not
+// change an already-taken snapshot (the JSON API hands snapshots to the
+// encoder concurrently with live solves).
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "C.")
+	c.Inc()
+	h := r.NewHistogram("h_seconds", "H.", []float64{1})
+	h.Observe(0.5)
+
+	snap := r.Snapshot()
+	c.Add(10)
+	h.Observe(0.25)
+
+	for _, f := range snap {
+		switch f.Name {
+		case "c_total":
+			if f.Series[0].Value != 1 {
+				t.Errorf("counter snapshot mutated: %v", f.Series[0].Value)
+			}
+		case "h_seconds":
+			if f.Series[0].Count != 1 || f.Series[0].Buckets[0] != 1 {
+				t.Errorf("histogram snapshot mutated: %+v", f.Series[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceStoreEvictionOrder(t *testing.T) {
+	s := NewTraceStore(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, s.Put(TraceRecord{Model: fmt.Sprintf("m%d", i), Endpoint: "solve"}))
+	}
+	if got, want := s.Len(), 3; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got, want := s.Cap(), 3; got != want {
+		t.Fatalf("Cap = %d, want %d", got, want)
+	}
+	// The two oldest records were evicted, the three newest survive.
+	for _, id := range ids[:2] {
+		if _, ok := s.Get(id); ok {
+			t.Errorf("Get(%s) found an evicted record", id)
+		}
+	}
+	for i, id := range ids[2:] {
+		rec, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("Get(%s) missing", id)
+		}
+		if want := fmt.Sprintf("m%d", i+2); rec.Model != want {
+			t.Errorf("Get(%s).Model = %q, want %q", id, rec.Model, want)
+		}
+	}
+	// List is newest-first.
+	list := s.List(TraceFilter{})
+	if len(list) != 3 {
+		t.Fatalf("List returned %d records, want 3", len(list))
+	}
+	for i, want := range []string{"m4", "m3", "m2"} {
+		if list[i].Model != want {
+			t.Errorf("List[%d].Model = %q, want %q", i, list[i].Model, want)
+		}
+	}
+}
+
+func TestTraceStoreIDsAreStable(t *testing.T) {
+	s := NewTraceStore(2)
+	id1 := s.Put(TraceRecord{Model: "a"})
+	id2 := s.Put(TraceRecord{Model: "b"})
+	if id1 == id2 {
+		t.Fatalf("ids collide: %s", id1)
+	}
+	rec, ok := s.Get(id2)
+	if !ok || rec.Model != "b" || rec.Seq == 0 {
+		t.Fatalf("Get(%s) = %+v, %v", id2, rec, ok)
+	}
+	if rec.Outcome != "ok" {
+		t.Errorf("empty outcome not normalized: %q", rec.Outcome)
+	}
+}
+
+func TestTraceStoreFilter(t *testing.T) {
+	s := NewTraceStore(8)
+	s.Put(TraceRecord{Model: "m1", Solver: "sor", Outcome: "ok"})
+	s.Put(TraceRecord{Model: "m1", Solver: "gth", Outcome: "error"})
+	s.Put(TraceRecord{Model: "m2", Solver: "sor", Outcome: "ok"})
+
+	if got := s.List(TraceFilter{Model: "m1"}); len(got) != 2 {
+		t.Errorf("filter model=m1: %d records, want 2", len(got))
+	}
+	if got := s.List(TraceFilter{Solver: "sor"}); len(got) != 2 {
+		t.Errorf("filter solver=sor: %d records, want 2", len(got))
+	}
+	if got := s.List(TraceFilter{Outcome: "error"}); len(got) != 1 || got[0].Model != "m1" {
+		t.Errorf("filter outcome=error: %+v", got)
+	}
+	if got := s.List(TraceFilter{Model: "m1", Solver: "sor", Outcome: "ok"}); len(got) != 1 {
+		t.Errorf("conjunctive filter: %d records, want 1", len(got))
+	}
+	if got := s.List(TraceFilter{Limit: 2}); len(got) != 2 || got[0].Model != "m2" {
+		t.Errorf("limit=2: %+v", got)
+	}
+}
+
+// TestTraceStoreListStripsRoot: the list view is metadata only; span
+// trees come back solely through Get.
+func TestTraceStoreListStripsRoot(t *testing.T) {
+	s := NewTraceStore(2)
+	tr := NewTrace("root")
+	sub := tr.Span("child")
+	sub.Iter(1, 0.5)
+	sub.End()
+	id := s.Put(RecordFromTrace(tr, "m", "solve"))
+
+	list := s.List(TraceFilter{})
+	if len(list) != 1 || list[0].Root != nil {
+		t.Fatalf("List leaked the span tree: %+v", list)
+	}
+	rec, ok := s.Get(id)
+	if !ok || rec.Root == nil || len(rec.Root.Children) != 1 {
+		t.Fatalf("Get lost the span tree: %+v, %v", rec, ok)
+	}
+	if rec.Spans != 2 || rec.Iterations != 1 {
+		t.Errorf("summary fields: spans=%d iterations=%d, want 2/1", rec.Spans, rec.Iterations)
+	}
+	if rec.Root.Version != TraceSchemaVersion {
+		t.Errorf("root span version = %d, want %d", rec.Root.Version, TraceSchemaVersion)
+	}
+}
+
+// TestTraceStoreConcurrent hammers Put/Get/List from many goroutines;
+// run under -race this is the store's concurrency contract.
+func TestTraceStoreConcurrent(t *testing.T) {
+	s := NewTraceStore(16)
+	const writers, readers, perWriter = 4, 4, 200
+	var writeWG, readWG sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				id := s.Put(TraceRecord{Model: fmt.Sprintf("w%d", w), Solver: "sor"})
+				s.Get(id)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s.List(TraceFilter{Solver: "sor", Limit: 8})
+				s.Len()
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(done)
+	readWG.Wait()
+
+	if got := s.Len(); got != 16 {
+		t.Errorf("Len = %d, want the full capacity 16", got)
+	}
+	list := s.List(TraceFilter{})
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Seq <= list[i].Seq {
+			t.Fatalf("List not newest-first at %d: seq %d then %d", i, list[i-1].Seq, list[i].Seq)
+		}
+	}
+}

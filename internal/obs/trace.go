@@ -33,6 +33,12 @@ func init() {
 	mirror("relprobe.iterations", ctrIters)
 }
 
+// TraceSchemaVersion identifies the span-tree JSON schema. It is stamped
+// on the root span of every trace so `-trace-json` consumers and the
+// reldash dashboard can detect the document shape instead of guessing.
+// Version 2 added the explicit wall_ms duration alongside wall_ns.
+const TraceSchemaVersion = 2
+
 // IterPoint is one recorded iteration of an iterative solve.
 type IterPoint struct {
 	// N is the 1-based iteration number.
@@ -49,6 +55,9 @@ type IterPoint struct {
 type Span struct {
 	// Name identifies the operation ("markov.steadystate", "linalg.sor", …).
 	Name string `json:"name"`
+	// Version is the trace schema version, stamped on root spans only
+	// (see TraceSchemaVersion); zero on child spans.
+	Version int `json:"version,omitempty"`
 	// WallNS is the span's wall-clock duration in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
 	// AllocBytes is the heap allocated during the span (only when the
@@ -70,18 +79,24 @@ type Span struct {
 // (keys sorted by encoding/json for deterministic output).
 type spanJSON struct {
 	Name       string         `json:"name"`
+	Version    int            `json:"version,omitempty"`
 	WallNS     int64          `json:"wall_ns"`
+	WallMS     float64        `json:"wall_ms"`
 	AllocBytes uint64         `json:"alloc_bytes,omitempty"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
 	Iters      []IterPoint    `json:"iters,omitempty"`
 	Children   []*Span        `json:"children,omitempty"`
 }
 
-// MarshalJSON renders the span with attributes as an object.
+// MarshalJSON renders the span with attributes as an object. The duration
+// appears twice on purpose: wall_ns is the exact integer measurement,
+// wall_ms the unit-explicit value dashboards display without guessing.
 func (s *Span) MarshalJSON() ([]byte, error) {
 	out := spanJSON{
 		Name:       s.Name,
+		Version:    s.Version,
 		WallNS:     s.WallNS,
+		WallMS:     float64(s.WallNS) / 1e6,
 		AllocBytes: s.AllocBytes,
 		Iters:      s.Iters,
 		Children:   s.Children,
@@ -128,7 +143,7 @@ type Trace struct {
 func NewTrace(rootName string) *Trace {
 	ctrTraces.Add(1)
 	ctrSpans.Add(1)
-	return &Trace{root: &Span{Name: rootName, start: time.Now(), open: true}}
+	return &Trace{root: &Span{Name: rootName, Version: TraceSchemaVersion, start: time.Now(), open: true}}
 }
 
 // SetCaptureAllocs toggles heap-allocation capture per span. It costs a

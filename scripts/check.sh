@@ -36,6 +36,38 @@ go run ./cmd/numvet ./internal/...
 echo "== relcli analyze"
 go run ./cmd/relcli analyze $(ls models/*.json | grep -v broken_)
 
+# Serve smoke: boot the real server on a free port, push one solve
+# through it, and assert the dashboard renders and the trace store
+# retained the request. This is the only check that exercises the
+# binary end to end over TCP rather than httptest.
+echo "== serve smoke"
+go build -o /tmp/relcli-smoke ./cmd/relcli
+/tmp/relcli-smoke serve -addr 127.0.0.1:0 > /tmp/relcli-smoke.out 2>&1 &
+SMOKE_PID=$!
+trap 'kill "$SMOKE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    grep -q "serving on" /tmp/relcli-smoke.out && break
+    sleep 0.1
+done
+SMOKE_ADDR=$(sed -n 's|.*http://\([0-9.:]*\).*|\1|p' /tmp/relcli-smoke.out | head -n1)
+if [[ -z "$SMOKE_ADDR" ]]; then
+    echo "serve smoke: server never announced an address" >&2
+    cat /tmp/relcli-smoke.out >&2
+    exit 1
+fi
+curl -sSf -X POST --data-binary @models/repairfarm.json "http://$SMOKE_ADDR/solve" > /dev/null
+ui=$(curl -sSf "http://$SMOKE_ADDR/ui")
+if [[ -z "$ui" ]] || ! grep -q "reldash" <<< "$ui"; then
+    echo "serve smoke: /ui did not render the dashboard" >&2
+    exit 1
+fi
+if ! curl -sSf "http://$SMOKE_ADDR/api/traces" | grep -q '"endpoint": "solve"'; then
+    echo "serve smoke: /api/traces does not contain the solve" >&2
+    exit 1
+fi
+kill "$SMOKE_PID" 2>/dev/null || true
+trap - EXIT
+
 # Solver performance gate: one suite run compared against the committed
 # baseline with a wide band (10x + 250ms) so only order-of-magnitude
 # regressions fail CI regardless of machine speed. Tighten locally with
