@@ -20,6 +20,7 @@ const (
 	ruleUnboundedLoop  = "unbounded-loop"
 	ruleGoroutineNoCtx = "goroutine-no-ctx"
 	ruleDeferInLoop    = "defer-in-loop"
+	ruleStrayRecover   = "stray-recover"
 )
 
 // Finding is one rule violation.
@@ -146,6 +147,17 @@ func (v *visitor) inspect(n ast.Node) bool {
 					"panic in library function %s; return an error instead", v.funcName)
 			}
 		}
+		if id, ok := n.Fun.(*ast.Ident); ok && isBuiltinRecover(id, v.info) {
+			// Panic recovery is centralized in internal/guard
+			// (RecoverPanic/Isolate) so every recovered panic becomes a
+			// typed *guard.InternalError and is counted; a scattered
+			// recover() silently swallows failures the chaos invariants
+			// need to see.
+			if v.pkgName != "guard" {
+				v.report(n.Pos(), ruleStrayRecover,
+					"recover() outside internal/guard in function %s; use guard.RecoverPanic or guard.Isolate so the panic stays typed and counted", v.funcName)
+			}
+		}
 		// Blocking sleeps ignore cancellation; solvers must use a timer in
 		// a select so a context can interrupt the wait.
 		if v.pkgName != "main" && v.isTimeSleep(n) {
@@ -266,6 +278,16 @@ func isBuiltinPanic(id *ast.Ident, info *types.Info) bool {
 	}
 	b, ok := info.Uses[id].(*types.Builtin)
 	return ok && b.Name() == "panic"
+}
+
+// isBuiltinRecover reports whether the identifier resolves to the
+// builtin recover.
+func isBuiltinRecover(id *ast.Ident, info *types.Info) bool {
+	if id.Name != "recover" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "recover"
 }
 
 // errType is the universe error type.

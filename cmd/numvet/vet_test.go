@@ -470,3 +470,49 @@ func Nested(mus [][]*sync.Mutex) {
 		}
 	}
 }
+
+func TestStrayRecoverRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+func Risky() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	return nil
+}
+
+// Allowed documents why this recover may live outside guard.
+func Allowed() {
+	defer func() {
+		recover() //numvet:allow stray-recover fuzz harness keeps the worker alive
+	}()
+}
+
+// Shadowed calls a local function named recover, not the builtin.
+func Shadowed() {
+	recover := func() any { return nil }
+	_ = recover()
+}
+`,
+		// The guard package is where recovery is centralized; its own
+		// recover() calls are the implementation, not strays.
+		"guard/guard.go": `package guard
+
+func RecoverPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = nil
+	}
+}
+`,
+	})
+	fs := vetFixture(t, root, "./lib", "./guard")
+	if got := rules(fs)[ruleStrayRecover]; got != 1 {
+		t.Fatalf("want exactly 1 stray-recover finding (in Risky), got %d: %v", got, fs)
+	}
+	if fs[0].Pos.Line != 5 {
+		t.Errorf("stray-recover finding at line %d, want 5: %v", fs[0].Pos.Line, fs[0])
+	}
+}

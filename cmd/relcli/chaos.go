@@ -1,0 +1,313 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/metrics"
+)
+
+// Chaos drill model documents: a mix chosen to route traffic through
+// every failpoint-instrumented layer (SOR/GTH steady state, uniformized
+// transient, BDD compilation, the budgeted fault-tree fallback chain)
+// plus deliberately bad inputs that must stay 4xx under fire.
+var chaosDocs = []struct {
+	name string
+	doc  string
+}{
+	{"ctmc-chain", `{"type":"ctmc","name":"chaos-chain","ctmc":{
+		"transitions":[{"from":"a","to":"b","rate":1},{"from":"b","to":"c","rate":2},{"from":"c","to":"a","rate":3}],
+		"measures":["steadystate"],"solver":"chain"}}`},
+	{"ctmc-transient", `{"type":"ctmc","name":"chaos-transient","ctmc":{
+		"transitions":[{"from":"up","to":"down","rate":0.01},{"from":"down","to":"up","rate":1}],
+		"initial":"up","upStates":["up"],"measures":["transient"],"time":10}}`},
+	{"rbd", `{"type":"rbd","name":"chaos-rbd","rbd":{
+		"components":[{"name":"a","lifetime":{"kind":"exponential","rate":0.001}},
+			{"name":"b","lifetime":{"kind":"exponential","rate":0.001}}],
+		"structure":{"op":"parallel","children":[{"comp":"a"},{"comp":"b"}]},
+		"measures":["reliability"],"time":100}}`},
+	{"faulttree-budget", `{"type":"faulttree","name":"chaos-ft","faulttree":{
+		"events":[{"name":"e1","prob":0.01},{"name":"e2","prob":0.02},{"name":"e3","prob":0.03}],
+		"top":{"op":"or","children":[{"op":"and","children":[{"event":"e1"},{"event":"e2"}]},{"event":"e3"}]},
+		"measures":["top"],"bddBudget":2}}`},
+	{"malformed", `{this is not json`},
+	{"bad-measure", `{"type":"ctmc","name":"chaos-bad","ctmc":{
+		"transitions":[{"from":"a","to":"b","rate":1}],"measures":["no-such-measure"]}}`},
+}
+
+// chaosSchedule builds the default seeded failpoint schedule. Every
+// probabilistic trigger takes its stream from the run seed, so two runs
+// with the same seed and request mix inject identical fault sequences.
+func chaosSchedule(seed uint64) string {
+	return strings.Join([]string{
+		fmt.Sprintf("linalg.sor.sweep:p(0.02,%d)->error(chaos: sor sweep)", seed),
+		"linalg.gth:1-in-13->error(chaos: gth)",
+		fmt.Sprintf("markov.unif.step:p(0.02,%d)->error(chaos: unif step)", seed+1),
+		"bdd.alloc:1-in-23->error(chaos: bdd alloc)",
+		"modelio.build:1-in-17->error(chaos: build)",
+		"modelio.parse:1-in-31->panic(chaos: parse)",
+		"obs.store.put:1-in-11->panic(chaos: store)",
+		fmt.Sprintf("linalg.power.step:p(0.05,%d)->delay(1ms)", seed+2),
+	}, ";")
+}
+
+// chaosReport is the run summary printed as JSON.
+type chaosReport struct {
+	Requests        int            `json:"requests"`
+	ByStatus        map[string]int `json:"by_status"`
+	Degraded        int            `json:"degraded"`
+	FailpointStats  map[string]int `json:"failpoint_trips,omitempty"`
+	BreakerCycleOK  bool           `json:"breaker_cycle_ok"`
+	GoroutinesStart int            `json:"goroutines_start"`
+	GoroutinesEnd   int            `json:"goroutines_end"`
+	Violations      []string       `json:"violations,omitempty"`
+}
+
+// allowedChaosStatus is the closed set of typed outcomes a request may
+// end with under fault injection. Anything else — especially a hung
+// request or a non-JSON 500 — is an invariant violation.
+var allowedChaosStatus = map[int]bool{
+	http.StatusOK:                  true,
+	http.StatusBadRequest:          true,
+	http.StatusUnprocessableEntity: true,
+	http.StatusTooManyRequests:     true,
+	http.StatusInternalServerError: true,
+	http.StatusServiceUnavailable:  true,
+	http.StatusGatewayTimeout:      true,
+}
+
+// runChaos implements the chaos subcommand: boot the real solve server
+// with a seeded failpoint schedule, fire a client swarm at it, and
+// assert the crash-only invariants — every request terminates with a
+// typed outcome, no non-finite numbers escape, the circuit breaker
+// opens and re-closes, and shutting the server down leaks no
+// goroutines. Exits nonzero (error return) on any violation, so CI can
+// gate on it.
+func runChaos(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("relcli chaos", flag.ContinueOnError)
+	requests := fs.Int("requests", 200, "total solve requests in the swarm")
+	swarm := fs.Int("swarm", 8, "concurrent swarm clients")
+	seed := fs.Uint64("seed", 42, "seed for the probabilistic failpoint triggers")
+	schedule := fs.String("failpoints", "", "failpoint schedule override (default: built-in seeded schedule)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sched := *schedule
+	if sched == "" {
+		sched = chaosSchedule(*seed)
+	}
+	failpoint.Reset()
+	defer failpoint.Reset()
+
+	var mu sync.Mutex
+	rep := chaosReport{ByStatus: make(map[string]int), FailpointStats: make(map[string]int)}
+	violate := func(format string, a ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(rep.Violations) < 32 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, a...))
+		}
+	}
+
+	_, mux, err := newSolveServer(serveConfig{
+		Registry:    metrics.NewRegistry(),
+		MaxInflight: 4, QueueDepth: 4, QueueWait: 250 * time.Millisecond,
+		BreakerThreshold: 3, BreakerCooldown: 300 * time.Millisecond,
+		SolveTimeout: 5 * time.Second,
+		Failpoints:   sched,
+		UI:           false,
+	})
+	if err != nil {
+		return err
+	}
+	rep.GoroutinesStart = runtime.NumGoroutine()
+	ts := httptest.NewServer(mux)
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *swarm; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				d := chaosDocs[i%len(chaosDocs)]
+				chaosOneRequest(client, ts.URL, d.name, d.doc, violate, &mu, &rep)
+				if i%10 == 0 {
+					chaosHealthz(client, ts.URL, violate)
+				}
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	// Snapshot trip counts before the breaker drill re-arms the registry.
+	for _, st := range failpoint.Stats() {
+		if st.Trips > 0 {
+			rep.FailpointStats[st.Name] = int(st.Trips)
+		}
+	}
+
+	rep.BreakerCycleOK = chaosBreakerCycle(client, ts.URL, violate)
+
+	ts.Close()
+	// Goroutine-leak settle: the swarm, the server's connection
+	// goroutines, and any solve workers must all unwind.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		rep.GoroutinesEnd = runtime.NumGoroutine()
+		if rep.GoroutinesEnd <= rep.GoroutinesStart+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if rep.GoroutinesEnd > rep.GoroutinesStart+2 {
+		violate("goroutine leak: %d at start, %d after shutdown", rep.GoroutinesStart, rep.GoroutinesEnd)
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("chaos: %d invariant violation(s)", len(rep.Violations))
+	}
+	fmt.Fprintf(stdout, "chaos: %d requests, all invariants held\n", rep.Requests)
+	return nil
+}
+
+// chaosOneRequest fires one solve and checks the per-response
+// invariants: typed status, JSON body, error code on failures,
+// Retry-After on backpressure, finite numbers on success.
+func chaosOneRequest(client *http.Client, base, name, doc string, violate func(string, ...any), mu *sync.Mutex, rep *chaosReport) {
+	resp, err := client.Post(base+"/solve", "application/json", strings.NewReader(doc))
+	if err != nil {
+		violate("%s: request did not terminate cleanly: %v", name, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		violate("%s: body read: %v", name, err)
+		return
+	}
+	mu.Lock()
+	rep.Requests++
+	rep.ByStatus[fmt.Sprint(resp.StatusCode)]++
+	mu.Unlock()
+
+	if !allowedChaosStatus[resp.StatusCode] {
+		violate("%s: untyped status %d: %.200s", name, resp.StatusCode, body)
+		return
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		violate("%s: status %d body is not JSON: %.200s", name, resp.StatusCode, body)
+		return
+	}
+	if resp.StatusCode != http.StatusOK && sr.Code == "" {
+		violate("%s: status %d without a typed error code: %.200s", name, resp.StatusCode, body)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests ||
+		(resp.StatusCode == http.StatusServiceUnavailable && sr.Code != "canceled") {
+		if resp.Header.Get("Retry-After") == "" {
+			violate("%s: %d (%s) without Retry-After", name, resp.StatusCode, sr.Code)
+		}
+	}
+	if resp.StatusCode == http.StatusOK {
+		if sr.Degraded {
+			mu.Lock()
+			rep.Degraded++
+			mu.Unlock()
+		}
+		for _, r := range sr.Results {
+			if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) {
+				violate("%s: non-finite result %s=%v escaped", name, r.Measure, r.Value)
+			}
+			if r.Bound != nil && (math.IsNaN(r.Bound.Lower) || math.IsNaN(r.Bound.Upper)) {
+				violate("%s: non-finite bound on %s", name, r.Measure)
+			}
+		}
+	}
+}
+
+// chaosHealthz asserts the health endpoint stays answerable under load.
+func chaosHealthz(client *http.Client, base string, violate func(string, ...any)) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		violate("healthz unreachable under load: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		violate("healthz status %d under load", resp.StatusCode)
+	}
+}
+
+// chaosBreakerCycle drives one full breaker open/re-close cycle against
+// the live server: break the build layer until the ctmc breaker opens
+// (503 breaker-open), clear the fault, wait out the cooldown, and
+// demand the half-open probe restores 200s.
+func chaosBreakerCycle(client *http.Client, base string, violate func(string, ...any)) bool {
+	const doc = `{"type":"ctmc","name":"breaker-probe","ctmc":{
+		"transitions":[{"from":"u","to":"d","rate":1},{"from":"d","to":"u","rate":10}],
+		"upStates":["u"],"measures":["availability"]}}`
+	post := func() (int, string) {
+		resp, err := client.Post(base+"/solve", "application/json", strings.NewReader(doc))
+		if err != nil {
+			violate("breaker cycle: request failed: %v", err)
+			return 0, ""
+		}
+		defer resp.Body.Close()
+		var sr solveResponse
+		_ = json.NewDecoder(resp.Body).Decode(&sr)
+		return resp.StatusCode, sr.Code
+	}
+
+	failpoint.Reset()
+	if err := failpoint.Arm("modelio.build", "error(chaos breaker drill)"); err != nil {
+		violate("breaker cycle: arm: %v", err)
+		return false
+	}
+	// The swarm may have left the ctmc breaker partially charged (or
+	// already open), so drive failures until it trips rather than
+	// counting to the threshold from zero.
+	opened := false
+	for i := 0; i < 10 && !opened; i++ {
+		switch code, typed := post(); {
+		case code == http.StatusInternalServerError:
+			// feeding the consecutive-failure count
+		case code == http.StatusServiceUnavailable && typed == "breaker-open":
+			opened = true
+		default:
+			violate("breaker cycle: faulted request %d got %d (%s), want 500 or breaker-open", i, code, typed)
+			return false
+		}
+	}
+	if !opened {
+		violate("breaker cycle: breaker never opened under sustained faults")
+		return false
+	}
+	failpoint.Reset()
+	time.Sleep(350 * time.Millisecond) // outlast the 300ms cooldown
+	if code, typed := post(); code != http.StatusOK {
+		violate("breaker cycle: probe after cooldown got %d (%s), want 200", code, typed)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/failpoint"
+)
+
+// TestChaosSmoke runs a miniature chaos drill through the subcommand
+// entry point: seeded failpoints, a small swarm, and every invariant
+// enforced (the full-size drill is the CHECK_CHAOS gate in
+// scripts/check.sh).
+func TestChaosSmoke(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	var out bytes.Buffer
+	if err := runChaos([]string{"-requests", "36", "-swarm", "4", "-seed", "42"}, &out); err != nil {
+		t.Fatalf("chaos drill failed: %v\n%s", err, out.String())
+	}
+	dec := json.NewDecoder(&out)
+	var rep chaosReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 36 {
+		t.Errorf("report counts %d requests, want 36", rep.Requests)
+	}
+	if !rep.BreakerCycleOK {
+		t.Error("breaker open/re-close cycle did not complete")
+	}
+	if len(rep.Violations) > 0 {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+	if rep.ByStatus["200"] == 0 {
+		t.Error("no successful solves at all under injection")
+	}
+}
+
+// TestChaosScheduleDeterminism: the same seed arms byte-identical
+// failpoint schedules — the reproducibility contract chaos reports
+// depend on.
+func TestChaosScheduleDeterminism(t *testing.T) {
+	if chaosSchedule(42) != chaosSchedule(42) {
+		t.Error("same seed produced different schedules")
+	}
+	if chaosSchedule(42) == chaosSchedule(43) {
+		t.Error("different seeds produced the same probabilistic streams")
+	}
+}

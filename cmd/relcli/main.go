@@ -8,6 +8,10 @@
 //	relcli solve [-log text|json] [-log-level debug] model.json
 //	relcli serve [-addr 127.0.0.1:8080] [-log json] [-max-inflight 8] [-timeout 30s]
 //	relcli serve [-ui=false] [-trace-store-size 256] [-bench BENCH_solvers.json]
+//	relcli serve [-queue-depth 16] [-queue-wait 1s] [-breaker-threshold 5]
+//	relcli serve [-breaker-cooldown 15s] [-failpoints 'name:spec;name:spec']
+//	relcli serve [-max-body 8388608]
+//	relcli chaos [-requests 200] [-swarm 8] [-seed 42] [-failpoints schedule]
 //	cat system.json | relcli [-json]
 //	relcli lint [-json] model.json [model.json ...]
 //	relcli analyze [-json] model.json [model.json ...]
@@ -33,8 +37,20 @@
 // relscope registry for scraping, GET /healthz reports liveness as JSON
 // (uptime, in-flight solves, trace-store occupancy), and /debug/pprof/
 // plus /debug/vars mirror the standalone debug server. It drains
-// gracefully on SIGINT/SIGTERM; solves still running after -grace are
+// gracefully on SIGINT/SIGTERM (healthz reports "draining" with 503
+// while requests finish); solves still running after -grace are
 // canceled through the guard context plumbing.
+//
+// The serve layer is crash-only (see the README's Resilience section):
+// a bounded admission queue sheds load with 429 and capacity-timeouts
+// with 503 — both with Retry-After and the model hash — per-model-class
+// circuit breakers short-circuit to degraded bounds-only answers for
+// rbd/fault-tree models, and per-request panic isolation turns crashes
+// into typed 500s. The chaos subcommand boots this stack with a seeded
+// failpoint schedule (internal/failpoint, also armable via -failpoints
+// or $RELFAIL) and drives a client swarm through it, asserting typed
+// outcomes, finite results, breaker open/re-close, and goroutine
+// hygiene; it prints a JSON report and exits nonzero on any violation.
 //
 // Every completed /solve and /analyze request is retained in a bounded
 // in-memory trace store (-trace-store-size, default 256, oldest
@@ -91,6 +107,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "chaos" {
+		return runChaos(args[1:], stdout)
 	}
 	if len(args) > 0 && args[0] == "solve" {
 		args = args[1:]

@@ -14,9 +14,11 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/guard"
 	"repro/internal/lint"
 	"repro/internal/metrics"
@@ -36,8 +38,28 @@ type serveConfig struct {
 	Registry *metrics.Registry
 	// Logger receives structured request and solve events (nil disables).
 	Logger *slog.Logger
-	// MaxInflight bounds concurrent solves; excess requests get 503.
+	// MaxInflight bounds concurrent solves; excess requests wait in the
+	// admission queue, and past that are shed.
 	MaxInflight int
+	// QueueDepth bounds requests waiting for a solve slot; beyond it the
+	// server sheds load with 429 (0 means 2x MaxInflight).
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// giving up with 503 (0 means 1s).
+	QueueWait time.Duration
+	// BreakerThreshold is the consecutive 5xx-class solve failures per
+	// model class before its circuit breaker opens (0 means 5; negative
+	// disables the breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker stays open before a
+	// half-open probe is allowed (0 means 15s).
+	BreakerCooldown time.Duration
+	// MaxBody bounds the accepted model-document size in bytes (0 means
+	// the 8 MiB default).
+	MaxBody int64
+	// Failpoints is a failpoint schedule ("name:spec;name:spec") armed at
+	// construction, for chaos drills against the real handler stack.
+	Failpoints string
 	// SolveTimeout bounds each solve (0 disables).
 	SolveTimeout time.Duration
 	// Rails and Preflight mirror the solve-subcommand flags.
@@ -55,35 +77,62 @@ type serveConfig struct {
 // solveServer is the long-running HTTP solve service behind
 // `relcli serve`.
 type solveServer struct {
-	cfg   serveConfig
-	sem   chan struct{}
-	store *obs.TraceStore
-	win   *reldash.Window
-	start time.Time
+	cfg      serveConfig
+	adm      *admission
+	brk      *breakerSet
+	store    *obs.TraceStore
+	win      *reldash.Window
+	start    time.Time
+	draining atomic.Bool
 
 	requests *metrics.Counter
 	latency  *metrics.Histogram
 	inflight *metrics.Gauge
+	shed     *metrics.Counter
+	degraded *metrics.Counter
+	breaker  *metrics.Counter
+	panics   *metrics.Counter
+	fpTrips  *metrics.Counter
 }
 
-// newServeMux builds the service routes: POST /solve, POST /analyze,
-// GET /healthz, the obs debug surface (/metrics, /debug/vars,
-// /debug/pprof/), and — unless cfg.UI is false — the reldash dashboard
-// (/ui, /api/*). The error is a dashboard construction failure (broken
-// embedded template), impossible once TestParseTemplates passes.
-func newServeMux(cfg serveConfig) (*http.ServeMux, error) {
+// newSolveServer builds the service (handlers, admission controller,
+// breakers, metrics) without binding a socket, so tests and the chaos
+// driver can exercise the exact production stack in-process. The error
+// is a dashboard construction failure (broken embedded template) or a
+// malformed cfg.Failpoints schedule.
+func newSolveServer(cfg serveConfig) (*solveServer, *http.ServeMux, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = metrics.Default()
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 8
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.MaxInflight
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 15 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = maxSolveBody
+	}
 	if cfg.TraceStoreSize <= 0 {
 		cfg.TraceStoreSize = 256
 	}
+	if cfg.Failpoints != "" {
+		if err := failpoint.ArmSchedule(cfg.Failpoints); err != nil {
+			return nil, nil, err
+		}
+	}
 	s := &solveServer{
 		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxInflight),
+		adm:   newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait),
 		store: obs.NewTraceStore(cfg.TraceStoreSize),
 		win:   reldash.NewWindow(time.Minute),
 		start: time.Now(),
@@ -93,36 +142,98 @@ func newServeMux(cfg serveConfig) (*http.ServeMux, error) {
 			"Request latency by route.", nil, "route"),
 		inflight: cfg.Registry.NewGauge("relscope_solve_inflight",
 			"Solve requests currently executing."),
+		shed: cfg.Registry.NewCounter("relserve_rejected_total",
+			"Requests rejected before solving, by reason (shed, capacity-timeout, draining, breaker-open).", "reason"),
+		degraded: cfg.Registry.NewCounter("relserve_degraded_total",
+			"Degraded bounds-only answers served while a breaker was open, by model class.", "class"),
+		breaker: cfg.Registry.NewCounter("relserve_breaker_open_total",
+			"Circuit-breaker open transitions, by model class.", "class"),
+		panics: cfg.Registry.NewCounter("relserve_panics_total",
+			"Handler panics converted to typed 500s, by route.", "route"),
+		fpTrips: cfg.Registry.NewCounter("relserve_failpoint_trips_total",
+			"Armed failpoint activations, by failpoint name.", "name"),
 	}
+	s.brk = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown,
+		func(class string) { s.breaker.Inc(class) })
+	failpoint.SetOnTrip(func(name string) { s.fpTrips.Inc(name) })
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /solve", s.handleSolve)
-	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /solve", s.isolated("/solve", s.handleSolve))
+	mux.HandleFunc("POST /analyze", s.isolated("/analyze", s.handleAnalyze))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	obs.RegisterDebug(mux, cfg.Registry)
 	if cfg.UI {
 		dash, err := reldash.NewHandler(reldash.Config{
-			Store:     s.store,
-			Registry:  cfg.Registry,
-			BenchPath: cfg.BenchPath,
-			Window:    s.win,
-			InFlight:  func() int { return int(s.inflight.Value()) },
-			Start:     s.start,
+			Store:      s.store,
+			Registry:   cfg.Registry,
+			BenchPath:  cfg.BenchPath,
+			Window:     s.win,
+			InFlight:   func() int { return int(s.inflight.Value()) },
+			Start:      s.start,
+			Resilience: s.resilience,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		dash.Register(mux)
 	}
-	return mux, nil
+	return s, mux, nil
+}
+
+// newServeMux is the route-only constructor most handler tests use.
+func newServeMux(cfg serveConfig) (*http.ServeMux, error) {
+	_, mux, err := newSolveServer(cfg)
+	return mux, err
+}
+
+// isolated wraps a handler with the per-request panic boundary: a panic
+// escaping the handler (or injected through a failpoint) is converted
+// to a *guard.InternalError and answered as a typed 500, and the server
+// keeps serving. Without this, net/http would recover the panic but
+// kill the connection with an empty reply.
+func (s *solveServer) isolated(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		err := guard.Isolate("serve"+route, func() error {
+			h(w, r)
+			return nil
+		})
+		if err != nil {
+			s.panics.Inc(route)
+			s.requests.Inc("500")
+			s.win.Record(true)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Error("handler panic isolated", "route", route, "err", err)
+			}
+			// Best effort: if the handler already wrote a header this is a
+			// no-op on the status line but still closes out the request.
+			s.reply(w, http.StatusInternalServerError, solveResponse{
+				Error: err.Error(), Code: "internal",
+			})
+		}
+	}
+}
+
+// resilience snapshots the serve-layer protection state for the
+// dashboard and /healthz.
+func (s *solveServer) resilience() reldash.Resilience {
+	return reldash.Resilience{
+		Draining: s.draining.Load(),
+		QueueLen: s.adm.queueLen(),
+		QueueCap: s.adm.queueCap(),
+		Breakers: s.brk.snapshot(),
+		Shed:     s.shed.Total(),
+		Degraded: s.degraded.Total(),
+	}
 }
 
 // healthzResponse is the GET /healthz reply: not just liveness but the
 // operational context a probe (or a human with curl) wants first.
 type healthzResponse struct {
-	Status   string           `json:"status"`
-	UptimeS  float64          `json:"uptime_s"`
-	InFlight int              `json:"in_flight"`
-	Store    healthzOccupancy `json:"trace_store"`
+	Status   string            `json:"status"`
+	UptimeS  float64           `json:"uptime_s"`
+	InFlight int               `json:"in_flight"`
+	Queue    healthzOccupancy  `json:"queue"`
+	Breakers map[string]string `json:"breakers,omitempty"`
+	Store    healthzOccupancy  `json:"trace_store"`
 }
 
 type healthzOccupancy struct {
@@ -130,32 +241,58 @@ type healthzOccupancy struct {
 	Cap int `json:"cap"`
 }
 
+// handleHealthz answers 200 "ok" in steady state and 503 "draining"
+// once graceful shutdown has begun, so load balancers stop routing new
+// work while in-flight solves finish.
 func (s *solveServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Header().Set("Cache-Control", "no-store")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	err := enc.Encode(healthzResponse{
+	resp := healthzResponse{
 		Status:   "ok",
 		UptimeS:  time.Since(s.start).Seconds(),
 		InFlight: int(s.inflight.Value()),
+		Queue:    healthzOccupancy{Len: s.adm.queueLen(), Cap: s.adm.queueCap()},
+		Breakers: s.brk.snapshot(),
 		Store:    healthzOccupancy{Len: s.store.Len(), Cap: s.store.Cap()},
-	})
-	if err != nil && s.cfg.Logger != nil {
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil && s.cfg.Logger != nil {
 		s.cfg.Logger.Warn("healthz response write failed", "err", err)
 	}
 }
 
-// solveResponse is the POST /solve reply document.
+// solveResponse is the POST /solve reply document. Error carries the
+// human-readable failure; Code is the stable machine-readable taxonomy
+// (shed, capacity-timeout, draining, breaker-open, too-large, bad-spec,
+// deadline, canceled, injected, internal) clients and the chaos driver
+// key on. ModelHash fingerprints the posted document so an error can be
+// correlated without echoing the body. Degraded marks bounds-only
+// answers served while the model class's breaker was open — Results
+// then carry Bound intervals instead of exact values.
 type solveResponse struct {
-	Model   string           `json:"model,omitempty"`
-	Results []modelio.Result `json:"results,omitempty"`
-	Trace   *obs.Span        `json:"trace,omitempty"`
-	Error   string           `json:"error,omitempty"`
+	Model     string           `json:"model,omitempty"`
+	ModelHash string           `json:"model_hash,omitempty"`
+	Degraded  bool             `json:"degraded,omitempty"`
+	Results   []modelio.Result `json:"results,omitempty"`
+	Trace     *obs.Span        `json:"trace,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Code      string           `json:"code,omitempty"`
+}
+
+// retryAfter derives the Retry-After seconds from the observed p95
+// solve wall and the current queue depth.
+func (s *solveServer) retryAfter() int {
+	return retryAfterSecs(s.latency.Quantile(0.95, "/solve"), s.adm.queueLen())
 }
 
 // handleSolve runs one model document through the instrumented solve
-// pipeline. The request context is threaded into the solver via the
+// pipeline behind the admission controller and the per-class circuit
+// breaker. The request context is threaded into the solver via the
 // guard plumbing, so a disconnecting client (or server shutdown closing
 // the connection) cancels the solve at iteration granularity.
 func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -167,24 +304,81 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.win.Record(code >= 400)
 	}()
 
-	select {
-	case s.sem <- struct{}{}:
-		s.inflight.Add(1)
-		defer func() {
-			s.inflight.Add(-1)
-			<-s.sem
-		}()
-	default:
+	if s.draining.Load() {
 		code = http.StatusServiceUnavailable
+		s.shed.Inc("draining")
 		w.Header().Set("Retry-After", "1")
-		s.reply(w, code, solveResponse{Error: "solve capacity exhausted; retry"})
+		s.reply(w, code, solveResponse{Error: "server is draining for shutdown", Code: "draining"})
 		return
 	}
 
-	spec, err := modelio.Parse(io.LimitReader(r.Body, maxSolveBody))
+	// The body is read (bounded) before admission so every rejection can
+	// carry the model hash; reading is microseconds against a solve.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
 		code = http.StatusBadRequest
-		s.reply(w, code, solveResponse{Error: err.Error()})
+		resp := solveResponse{Error: err.Error(), Code: "body-read"}
+		if maxBytesError(err) {
+			resp.Error = fmt.Sprintf("model document exceeds the %d-byte limit", s.cfg.MaxBody)
+			resp.Code = "too-large"
+		}
+		s.reply(w, code, resp)
+		return
+	}
+	hash := modelHash(body)
+
+	release, verdict := s.adm.acquire(r.Context())
+	switch verdict {
+	case admitOK:
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			release()
+		}()
+	case admitShed:
+		code = http.StatusTooManyRequests
+		s.shed.Inc("shed")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		s.reply(w, code, solveResponse{
+			ModelHash: hash, Code: "shed",
+			Error: "admission queue full; load shed",
+		})
+		return
+	case admitTimeout:
+		code = http.StatusServiceUnavailable
+		s.shed.Inc("capacity-timeout")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		s.reply(w, code, solveResponse{
+			ModelHash: hash, Code: "capacity-timeout",
+			Error: fmt.Sprintf("no solve slot freed within %s", s.cfg.QueueWait),
+		})
+		return
+	default: // admitCanceled: the client is gone; close out cheaply.
+		code = http.StatusServiceUnavailable
+		s.reply(w, code, solveResponse{ModelHash: hash, Code: "canceled",
+			Error: "client canceled while queued"})
+		return
+	}
+
+	spec, err := modelio.Parse(bytes.NewReader(body))
+	if err != nil {
+		code = http.StatusBadRequest
+		respCode := "bad-spec"
+		if errorCode(err) == "injected" {
+			// The parser itself broke (failpoint), not the document.
+			code = http.StatusInternalServerError
+			respCode = "injected"
+		}
+		s.reply(w, code, solveResponse{ModelHash: hash, Error: err.Error(), Code: respCode})
+		return
+	}
+
+	// Circuit breaker: when the exact path for this model class has been
+	// failing consecutively, short-circuit to a degraded bounds-only
+	// answer rather than burning a solve slot on a likely failure.
+	proceed, probe := s.brk.allow(spec.Type)
+	if !proceed {
+		s.replyDegraded(w, &code, spec, hash)
 		return
 	}
 
@@ -195,35 +389,75 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Logger != nil {
 		recs = append(recs, obs.NewSlogRecorder(s.cfg.Logger))
 	}
-	results, err := modelio.SolveWithOptions(spec, modelio.SolveOptions{
-		Preflight: s.cfg.Preflight,
-		Recorder:  obs.Multi(recs...),
-		Context:   r.Context(),
-		Timeout:   s.cfg.SolveTimeout,
-		Rails:     s.cfg.Rails,
+	var results []modelio.Result
+	solveErr := guard.Isolate("serve.solve", func() error {
+		var err error
+		results, err = modelio.SolveWithOptions(spec, modelio.SolveOptions{
+			Preflight: s.cfg.Preflight,
+			Recorder:  obs.Multi(recs...),
+			Context:   r.Context(),
+			Timeout:   s.cfg.SolveTimeout,
+			Rails:     s.cfg.Rails,
+		})
+		return err
 	})
-	resp := solveResponse{Model: spec.Name, Results: results}
+	resp := solveResponse{Model: spec.Name, ModelHash: hash, Results: results}
 	if r.URL.Query().Get("trace") != "" {
 		resp.Trace = tr.Finish()
 	}
-	if err != nil {
-		code = solveErrorStatus(err)
-		resp.Error = err.Error()
+	if solveErr != nil {
+		code = solveErrorStatus(solveErr)
+		resp.Error = solveErr.Error()
+		resp.Code = errorCode(solveErr)
 	}
+	// 5xx-class outcomes are solver breakage and feed the breaker; 4xx
+	// (bad documents, client cancellations) do not.
+	s.brk.record(spec.Type, probe, code >= http.StatusInternalServerError)
 	rec := obs.RecordFromTrace(tr, rootName(spec), "solve")
 	rec.Start = start
-	rec.Outcome = solveOutcome(err)
-	if err != nil {
-		rec.Error = err.Error()
+	rec.Outcome = solveOutcome(solveErr)
+	if solveErr != nil {
+		rec.Error = solveErr.Error()
 	}
-	s.store.Put(rec)
+	// A panicking trace store (failpoint) must not take the response
+	// down with it: the record is an observability nicety.
+	if err := guard.Isolate("serve.store", func() error { s.store.Put(rec); return nil }); err != nil {
+		s.panics.Inc("/solve/store")
+	}
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("solve request",
 			"model", spec.Name, "type", spec.Type, "status", code,
+			"model_hash", hash, "degraded", false,
 			"wall_ms", float64(time.Since(start).Nanoseconds())/1e6,
 			"remote", r.RemoteAddr)
 	}
 	s.reply(w, code, resp)
+}
+
+// replyDegraded answers a breaker-open request: a bounds-only degraded
+// solve when the model family has one (rbd, faulttree), 503 with the
+// cooldown-derived Retry-After when it does not (ctmc and friends have
+// no cheap certified bounds).
+func (s *solveServer) replyDegraded(w http.ResponseWriter, code *int, spec *modelio.Spec, hash string) {
+	results, err := modelio.SolveBounds(spec)
+	if err != nil {
+		*code = http.StatusServiceUnavailable
+		s.shed.Inc("breaker-open")
+		w.Header().Set("Retry-After", strconv.Itoa(s.brk.retrySecs(spec.Type)))
+		s.reply(w, *code, solveResponse{
+			Model: spec.Name, ModelHash: hash, Code: "breaker-open",
+			Error: fmt.Sprintf("circuit breaker open for model class %q and no bounds-only path: %v", spec.Type, err),
+		})
+		return
+	}
+	s.degraded.Inc(spec.Type)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("degraded bounds-only answer",
+			"model", spec.Name, "type", spec.Type, "model_hash", hash)
+	}
+	s.reply(w, *code, solveResponse{
+		Model: spec.Name, ModelHash: hash, Degraded: true, Results: results,
+	})
 }
 
 // handleAnalyze runs the static structural analysis (no solving) over one
@@ -239,7 +473,7 @@ func (s *solveServer) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}()
 	// The body is read once and re-parsed from memory: analyzeDocument
 	// consumes the reader, and the trace store wants the model's name.
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxSolveBody))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
 		code = http.StatusBadRequest
 		w.Header().Set("Content-Type", "application/json")
@@ -367,7 +601,13 @@ func runServe(args []string, stdout io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
 	logFormat := fs.String("log", "", "structured request/solve logs on stderr: text or json")
 	logLevel := fs.String("log-level", "info", "log level for -log (debug adds per-iteration events)")
-	maxInflight := fs.Int("max-inflight", 8, "maximum concurrent solves; excess requests get 503")
+	maxInflight := fs.Int("max-inflight", 8, "maximum concurrent solves; excess requests queue, then shed")
+	queueDepth := fs.Int("queue-depth", 0, "admission-queue depth before load shedding with 429 (0 means 2x max-inflight)")
+	queueWait := fs.Duration("queue-wait", time.Second, "longest a queued request waits for a solve slot before 503")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive solver failures per model class before its breaker opens (negative disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 15*time.Second, "how long an open breaker waits before a half-open probe")
+	failpoints := fs.String("failpoints", "", "failpoint schedule to arm (name:spec;name:spec), for chaos drills; RELFAIL adds more")
+	maxBody := fs.Int64("max-body", 0, "largest accepted model document in bytes (0 means 8 MiB)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-solve deadline (0 disables)")
 	rails := fs.String("rails", "", "numerical guard-rail strictness: strict, warn (default), or off")
 	preflight := fs.Bool("preflight", false, "lint each model and refuse to solve on errors")
@@ -388,16 +628,27 @@ func runServe(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	mux, err := newServeMux(serveConfig{
-		Registry:       metrics.Default(),
-		Logger:         logger,
-		MaxInflight:    *maxInflight,
-		SolveTimeout:   *timeout,
-		Rails:          guard.Strictness(*rails),
-		Preflight:      *preflight,
-		UI:             *ui,
-		TraceStoreSize: *traceStoreSize,
-		BenchPath:      *benchPath,
+	if n, err := failpoint.ArmFromEnv(os.Getenv); err != nil {
+		return err
+	} else if n > 0 {
+		fmt.Fprintf(stdout, "relcli: armed %d failpoint(s) from %s\n", n, failpoint.EnvVar)
+	}
+	s, mux, err := newSolveServer(serveConfig{
+		Registry:         metrics.Default(),
+		Logger:           logger,
+		MaxInflight:      *maxInflight,
+		QueueDepth:       *queueDepth,
+		QueueWait:        *queueWait,
+		MaxBody:          *maxBody,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Failpoints:       *failpoints,
+		SolveTimeout:     *timeout,
+		Rails:            guard.Strictness(*rails),
+		Preflight:        *preflight,
+		UI:               *ui,
+		TraceStoreSize:   *traceStoreSize,
+		BenchPath:        *benchPath,
 	})
 	if err != nil {
 		return err
@@ -418,6 +669,9 @@ func runServe(args []string, stdout io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Flip to draining first: /healthz answers 503 "draining" and new
+	// solves are refused while in-flight ones get the grace period.
+	s.draining.Store(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

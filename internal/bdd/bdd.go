@@ -8,7 +8,14 @@ package bdd
 
 import (
 	"fmt"
+
+	"repro/internal/failpoint"
 )
+
+// fpAlloc is the node-allocation failpoint: an injected error poisons the
+// manager exactly like a tripped node budget (construction unwinds
+// cheaply, results must be discarded), surfacing through AllocFailure.
+const fpAlloc = "bdd.alloc"
 
 // Ref identifies a BDD node within a Manager. The terminals are False and
 // True; all other refs index internal nodes.
@@ -37,6 +44,7 @@ type Manager struct {
 
 	nodeLimit int
 	limitHit  bool
+	allocErr  error
 
 	iteHits, iteMisses int64
 }
@@ -86,6 +94,12 @@ func (m *Manager) SetNodeLimit(limit int) { m.nodeLimit = limit }
 // LimitExceeded reports whether a SetNodeLimit budget has tripped.
 func (m *Manager) LimitExceeded() bool { return m.limitHit }
 
+// AllocFailure returns the injected allocation fault that poisoned this
+// manager (nil outside fault-injection runs). A poisoned manager's
+// results are meaningless, exactly as after a tripped node budget;
+// constructors must check and discard.
+func (m *Manager) AllocFailure() error { return m.allocErr }
+
 // Size returns the number of live nodes (including terminals).
 func (m *Manager) Size() int { return len(m.nodes) }
 
@@ -109,6 +123,13 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 	}
 	if m.nodeLimit > 0 && len(m.nodes)-2 >= m.nodeLimit {
 		m.limitHit = true
+		return low
+	}
+	if err := failpoint.Inject(fpAlloc); err != nil {
+		// Poison the manager and unwind the construction cheaply, the same
+		// degradation path as an exhausted node budget.
+		m.limitHit = true
+		m.allocErr = err
 		return low
 	}
 	r := Ref(len(m.nodes))

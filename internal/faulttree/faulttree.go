@@ -109,6 +109,11 @@ func NewWithBudget(top *Node, budget int) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := t.mgr.AllocFailure(); err != nil {
+		// An injected allocation fault poisoned the manager; its refs are
+		// meaningless, so surface the typed failpoint error.
+		return nil, err
+	}
 	if t.mgr.LimitExceeded() {
 		return nil, &guard.BudgetError{Op: "faulttree.bdd", Budget: budget, Actual: t.mgr.Size() - 2}
 	}

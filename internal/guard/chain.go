@@ -30,6 +30,10 @@ const (
 	// ClassBudget: a size budget was exceeded (the Boeing path).
 	// Escalatable — that is what the bounding fallbacks are for.
 	ClassBudget FailureClass = "budget-exceeded"
+	// ClassInjected: a failpoint tripped (internal/failpoint). Escalatable
+	// so fault injection exercises the same fallback paths a genuine
+	// solver failure would.
+	ClassInjected FailureClass = "injected"
 	// ClassCanceled and ClassDeadline: the context was interrupted. Never
 	// escalated — the caller asked the whole solve to stop.
 	ClassCanceled FailureClass = "canceled"
@@ -73,7 +77,7 @@ func Classify(err error) FailureClass {
 // to the next method in a chain.
 func (c FailureClass) Escalatable() bool {
 	switch c {
-	case ClassNoConvergence, ClassDivergence, ClassNumerical, ClassBudget:
+	case ClassNoConvergence, ClassDivergence, ClassNumerical, ClassBudget, ClassInjected:
 		return true
 	}
 	return false
@@ -132,6 +136,42 @@ type Attempt struct {
 type ChainReport struct {
 	Attempts []Attempt `json:"attempts"`
 	Winner   string    `json:"winner,omitempty"`
+	// RetryBudgetExhausted reports that per-step retries were skipped
+	// because the chain's retry budget ran out (see WithRetryBudget);
+	// escalation to later steps still happened.
+	RetryBudgetExhausted bool `json:"retry_budget_exhausted,omitempty"`
+}
+
+// retryBudgetKey carries an explicit retry budget on the context.
+type retryBudgetKey struct{}
+
+// WithRetryBudget caps the total wall time RunChain may spend on
+// *retries* of failing steps (escalation to the next method is always
+// allowed — the budget protects the deadline from being eaten by
+// re-running a struggling solver, not from trying a different one).
+// Without an explicit budget, a chain under a context deadline gets half
+// the time remaining when it starts; a chain with neither deadline nor
+// budget retries without limit.
+func WithRetryBudget(ctx context.Context, d time.Duration) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, retryBudgetKey{}, d)
+}
+
+// retryDeadline computes the instant after which RunChain stops retrying.
+// The zero time means "no budget".
+func retryDeadline(ctx context.Context, start time.Time) time.Time {
+	if ctx == nil {
+		return time.Time{}
+	}
+	if d, ok := ctx.Value(retryBudgetKey{}).(time.Duration); ok {
+		return start.Add(d)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		return start.Add(dl.Sub(start) / 2)
+	}
+	return time.Time{}
 }
 
 // ExhaustedError reports a chain whose every method failed. It unwraps to
@@ -177,6 +217,7 @@ func RunChain[T any](ctx context.Context, rec obs.Recorder, name string, steps .
 		defer rec.End()
 	}
 	var lastErr error
+	retryCutoff := retryDeadline(ctx, time.Now())
 	for _, step := range steps {
 		backoff := step.Backoff
 		for try := 1; try <= step.Retries+1; try++ {
@@ -213,6 +254,16 @@ func RunChain[T any](ctx context.Context, rec obs.Recorder, name string, steps .
 				return zero, report, err
 			}
 			if try <= step.Retries {
+				if !retryCutoff.IsZero() && !time.Now().Before(retryCutoff) {
+					// Retry budget spent: skip this step's remaining retries
+					// but keep escalating so a different method still gets
+					// its shot inside the deadline.
+					report.RetryBudgetExhausted = true
+					if tracing {
+						rec.Set(obs.S("retry_budget", "exhausted"))
+					}
+					break
+				}
 				if err := waitBackoff(ctx, backoff); err != nil {
 					report.finish(rec, tracing, "")
 					return zero, report, err

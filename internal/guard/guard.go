@@ -163,6 +163,16 @@ type SpanPather interface {
 	OpenPath() []string
 }
 
+// Isolate runs fn, converting any panic that unwinds out of it into a
+// *InternalError. It is the per-request isolation boundary for servers:
+// one solve panicking (a solver defect, an armed panic failpoint) must
+// become a typed error on that request, never take down sibling solves
+// sharing the process.
+func Isolate(op string, fn func() error) (err error) {
+	defer RecoverPanic(&err, nil, op)
+	return fn()
+}
+
 // RecoverPanic converts a panic unwinding through a public boundary into a
 // *InternalError assigned to *errp. Use it in a defer at the top of the
 // boundary function:
@@ -170,7 +180,7 @@ type SpanPather interface {
 //	defer guard.RecoverPanic(&err, rec, "modelio.solve")
 //
 // When no panic is in flight it does nothing, preserving the function's
-// normal return value.
+// normal return value. See Isolate for the closure form.
 func RecoverPanic(errp *error, rec obs.Recorder, op string) {
 	r := recover()
 	if r == nil {

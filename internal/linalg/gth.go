@@ -2,6 +2,8 @@ package linalg
 
 import (
 	"fmt"
+
+	"repro/internal/failpoint"
 )
 
 // GTH computes the stationary probability vector π of an irreducible CTMC
@@ -16,6 +18,9 @@ import (
 // reconstructed from the off-diagonal rates, so callers may pass either a
 // full generator or just the rate matrix.
 func GTH(q *Dense) ([]float64, error) {
+	if err := failpoint.Inject(fpGTH); err != nil {
+		return nil, err
+	}
 	n := q.Rows()
 	if q.Cols() != n {
 		return nil, fmt.Errorf("gth: matrix %dx%d not square: %w", q.Rows(), q.Cols(), ErrDimensionMismatch)

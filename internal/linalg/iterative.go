@@ -5,8 +5,18 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/failpoint"
 	"repro/internal/guard"
 	"repro/internal/obs"
+)
+
+// Failpoints this package declares (see internal/failpoint): injected
+// per-sweep/per-step faults surface through the same typed-error plumbing
+// as genuine solver failures, so chaos runs exercise the fallback chains.
+const (
+	fpSORSweep  = "linalg.sor.sweep"
+	fpPowerStep = "linalg.power.step"
+	fpGTH       = "linalg.gth"
 )
 
 // SOROptions controls the stationary-vector SOR/Gauss–Seidel iteration.
@@ -157,6 +167,9 @@ func SORSteadyState(q *CSR, opts SOROptions) ([]float64, int, error) {
 			guard.RecordInterrupt(rec, err)
 			return pi, iter - 1, err
 		}
+		if err := failpoint.InjectCtx(opts.Ctx, fpSORSweep); err != nil {
+			return pi, iter - 1, err
+		}
 		var maxDelta float64
 		for j := 0; j < n; j++ {
 			var inflow float64
@@ -264,6 +277,9 @@ func PowerIterationOpts(p *CSR, opts PowerOptions) ([]float64, int, error) {
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		if err := guard.Ctx(opts.Ctx, "linalg.power", iter-1, prevDelta); err != nil {
 			guard.RecordInterrupt(rec, err)
+			return pi, iter - 1, err
+		}
+		if err := failpoint.InjectCtx(opts.Ctx, fpPowerStep); err != nil {
 			return pi, iter - 1, err
 		}
 		next, err := p.VecMul(pi)

@@ -5,10 +5,16 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/failpoint"
 	"repro/internal/guard"
 	"repro/internal/linalg"
 	"repro/internal/obs"
 )
+
+// fpUnifStep is the per-step failpoint inside the uniformization walks
+// (Transient and CumulativeTransient share it): an injected fault aborts
+// the transient solve with a typed error exactly like a genuine one.
+const fpUnifStep = "markov.unif.step"
 
 // TransientOptions tunes the uniformization computation.
 type TransientOptions struct {
@@ -82,6 +88,9 @@ func (c *CTMC) Transient(t float64, p0 []float64, opts TransientOptions) ([]floa
 	for k := 0; k <= kmax; k++ {
 		if err := guard.Ctx(opts.Ctx, "markov.transient", k, math.NaN()); err != nil {
 			guard.RecordInterrupt(rec, err)
+			return nil, err
+		}
+		if err := failpoint.InjectCtx(opts.Ctx, fpUnifStep); err != nil {
 			return nil, err
 		}
 		if k > 0 {
@@ -195,6 +204,9 @@ func (c *CTMC) CumulativeTransient(t float64, p0 []float64, opts TransientOption
 	for k := 0; k <= kmax; k++ {
 		if err := guard.Ctx(opts.Ctx, "markov.cumtransient", k, math.NaN()); err != nil {
 			guard.RecordInterrupt(rec, err)
+			return nil, err
+		}
+		if err := failpoint.InjectCtx(opts.Ctx, fpUnifStep); err != nil {
 			return nil, err
 		}
 		if k > 0 {

@@ -17,7 +17,10 @@
 // never fail a solve.
 package metrics
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
 
 // kind discriminates the metric families a Registry can hold.
 type kind uint8
@@ -246,6 +249,21 @@ func (c *Counter) Value(labelValues ...string) float64 {
 	return 0
 }
 
+// Total returns the sum over every series in the family — the rollup a
+// dashboard wants when the label split does not matter.
+func (c *Counter) Total() float64 {
+	if c.f == nil {
+		return 0
+	}
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	var sum float64
+	for _, s := range c.f.series {
+		sum += s.val
+	}
+	return sum
+}
+
 // Gauge is a metric family handle whose series can move both ways.
 type Gauge struct {
 	reg *Registry
@@ -346,6 +364,32 @@ func (h *Histogram) Observe(v float64, labelValues ...string) {
 	s.sum += v
 	s.count++
 	h.f.mu.Unlock()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the selected series
+// from its cumulative bucket counts: the answer is the upper bound of the
+// first bucket whose cumulative count reaches q·total — a conservative
+// (never underestimating) figure, which is what backpressure hints like
+// Retry-After want. Observations beyond the last finite bound are
+// attributed to the last finite bound. A series with no observations (or
+// a mis-labeled lookup) reports NaN.
+func (h *Histogram) Quantile(q float64, labelValues ...string) float64 {
+	if h.f == nil || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	s, ok := h.f.series[joinKey(labelValues)]
+	if !ok || len(labelValues) != len(h.f.labels) || s.count == 0 || len(h.f.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.count)
+	for i, cum := range s.buckets {
+		if float64(cum) >= rank {
+			return h.f.bounds[i]
+		}
+	}
+	return h.f.bounds[len(h.f.bounds)-1]
 }
 
 // Count returns the observation count of the selected series.

@@ -1,0 +1,213 @@
+package modelio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/faulttree"
+	"repro/internal/guard"
+	"repro/internal/rbd"
+)
+
+// ErrNoDegraded reports that no bounds-only degraded answer exists for a
+// model: either the family has no cheap bounding path (CTMC, relgraph,
+// SPN) or none of the requested measures can be bounded from cut sets.
+var ErrNoDegraded = errors.New("modelio: no bounds-only degraded answer for this model")
+
+// buildRBDPool converts the component declarations into rbd components.
+func buildRBDPool(spec *RBDSpec) (map[string]*rbd.Component, error) {
+	pool := make(map[string]*rbd.Component, len(spec.Components))
+	for _, cs := range spec.Components {
+		if cs.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed component", ErrBadSpec)
+		}
+		life, err := cs.Lifetime.Distribution()
+		if err != nil {
+			return nil, fmt.Errorf("component %q lifetime: %w", cs.Name, err)
+		}
+		comp := &rbd.Component{Name: cs.Name, Lifetime: life}
+		if cs.Repair != nil {
+			rep, err := cs.Repair.Distribution()
+			if err != nil {
+				return nil, fmt.Errorf("component %q repair: %w", cs.Name, err)
+			}
+			comp.Repair = rep
+		}
+		pool[cs.Name] = comp
+	}
+	return pool, nil
+}
+
+// buildFTPool converts the event declarations into fault-tree events.
+func buildFTPool(spec *FaultTreeSpec) (map[string]*faulttree.Event, error) {
+	pool := make(map[string]*faulttree.Event, len(spec.Events))
+	for _, es := range spec.Events {
+		if es.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed event", ErrBadSpec)
+		}
+		e := &faulttree.Event{Name: es.Name, Prob: es.Prob}
+		if es.Lifetime != nil {
+			life, err := es.Lifetime.Distribution()
+			if err != nil {
+				return nil, fmt.Errorf("event %q lifetime: %w", es.Name, err)
+			}
+			e.Lifetime = life
+		}
+		pool[es.Name] = e
+	}
+	return pool, nil
+}
+
+// SolveBounds evaluates cheap certified bounds for the specification
+// without running the exact solvers — the degraded answer a resilient
+// service returns when the exact path is broken (circuit breaker open).
+// Every returned scalar Result carries a Bound interval; Value is the
+// conservative endpoint (the pessimistic reading: lowest defensible
+// reliability, highest defensible failure probability). Set-valued
+// measures (mincuts) are exact and carried through without a Bound.
+//
+// Measures with no bounding path are skipped rather than failing the
+// whole request; when nothing can be bounded — or the model family has
+// no cheap path at all (ctmc, relgraph, spn) — SolveBounds returns
+// ErrNoDegraded.
+func SolveBounds(s *Spec) (results []Result, err error) {
+	defer guard.RecoverPanic(&err, nil, "modelio.solvebounds")
+	switch s.Type {
+	case "rbd":
+		return rbdBounds(s.RBD)
+	case "faulttree":
+		return faultTreeBounds(s.FaultTree)
+	default:
+		return nil, fmt.Errorf("%w: type %q", ErrNoDegraded, s.Type)
+	}
+}
+
+// rbdBounds answers reliability via the rare-event cut-set bound
+// (log-space, so deep redundancy does not underflow) and mincuts
+// exactly. Availability, MTTF, and importance need the quadrature path
+// and are skipped.
+func rbdBounds(spec *RBDSpec) ([]Result, error) {
+	if spec == nil || spec.Structure == nil {
+		return nil, fmt.Errorf("%w: rbd without structure", ErrBadSpec)
+	}
+	pool, err := buildRBDPool(spec)
+	if err != nil {
+		return nil, err
+	}
+	block, err := buildBlock(spec.Structure, pool)
+	if err != nil {
+		return nil, err
+	}
+	m, err := rbd.New(block)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, meas := range spec.Measures {
+		switch meas {
+		case "reliability":
+			lb, err := m.UnreliabilityBoundLogAt(spec.Time)
+			if err != nil {
+				return nil, err
+			}
+			lower := 1 - math.Exp(lb)
+			if lower < 0 {
+				lower = 0
+			}
+			out = append(out, Result{Measure: meas, Value: lower,
+				Bound: &Bound{Lower: lower, Upper: 1, Method: "rare-event-cutsets"}})
+		case "mincuts":
+			out = append(out, Result{Measure: meas, Sets: m.MinimalCutSets()})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no boundable rbd measure in %v", ErrNoDegraded, spec.Measures)
+	}
+	return out, nil
+}
+
+// faultTreeBounds answers top/rare-event/topAt via the rare-event upper
+// bound over MOCUS cut sets — no BDD is compiled, so the path stays
+// cheap even for trees whose exact compile blows the node budget.
+func faultTreeBounds(spec *FaultTreeSpec) ([]Result, error) {
+	if spec == nil || spec.Top == nil {
+		return nil, fmt.Errorf("%w: faulttree without top gate", ErrBadSpec)
+	}
+	pool, err := buildFTPool(spec)
+	if err != nil {
+		return nil, err
+	}
+	node, err := buildGate(spec.Top, pool)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := faulttree.NewCutSetsOnly(node)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, meas := range spec.Measures {
+		switch meas {
+		case "top", "rare-event":
+			lb, err := tree.RareEventBoundLog()
+			if err != nil {
+				return nil, err
+			}
+			upper := math.Exp(lb)
+			if upper > 1 {
+				upper = 1
+			}
+			out = append(out, Result{Measure: meas, Value: upper,
+				Bound: &Bound{Lower: 0, Upper: upper, Method: "rare-event"}})
+		case "topAt":
+			upper, err := topAtBound(tree, pool, spec.Time)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Value: upper,
+				Bound: &Bound{Lower: 0, Upper: upper, Method: "rare-event"}})
+		case "mincuts":
+			cuts, err := tree.CutSets()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{Measure: meas, Sets: cuts})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no boundable faulttree measure in %v", ErrNoDegraded, spec.Measures)
+	}
+	return out, nil
+}
+
+// topAtBound evaluates the rare-event upper bound on the top event at
+// mission time tau, taking per-event probabilities from the lifetime
+// CDFs instead of the static Prob fields.
+func topAtBound(tree *faulttree.Tree, pool map[string]*faulttree.Event, tau float64) (float64, error) {
+	cuts, err := tree.CutSets()
+	if err != nil {
+		return 0, err
+	}
+	logs := make([]float64, len(cuts))
+	for i, c := range cuts {
+		ps := make([]float64, len(c))
+		for j, name := range c {
+			e := pool[name]
+			if e == nil || e.Lifetime == nil {
+				return 0, fmt.Errorf("%w: %q", faulttree.ErrNoLifetime, name)
+			}
+			ps[j] = e.Lifetime.CDF(tau)
+		}
+		lc, err := guard.LogCutProb(ps)
+		if err != nil {
+			return 0, fmt.Errorf("faulttree: cut %v: %w", c, err)
+		}
+		logs[i] = lc
+	}
+	upper := math.Exp(guard.LogRareEvent(logs))
+	if upper > 1 {
+		upper = 1
+	}
+	return upper, nil
+}

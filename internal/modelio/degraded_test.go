@@ -1,0 +1,152 @@
+package modelio
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func specFromJSON(t *testing.T, doc string) *Spec {
+	t.Helper()
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestSolveBoundsRBDReliability(t *testing.T) {
+	s := specFromJSON(t, `{
+		"type": "rbd",
+		"rbd": {
+			"components": [
+				{"name": "a", "lifetime": {"kind": "exponential", "rate": 0.001}},
+				{"name": "b", "lifetime": {"kind": "exponential", "rate": 0.001}}
+			],
+			"structure": {"op": "parallel", "children": [{"comp": "a"}, {"comp": "b"}]},
+			"measures": ["reliability", "mincuts"],
+			"time": 100
+		}
+	}`)
+	got, err := SolveBounds(s)
+	if err != nil {
+		t.Fatalf("SolveBounds: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+	rel := got[0]
+	if rel.Measure != "reliability" || rel.Bound == nil {
+		t.Fatalf("first result = %+v, want bounded reliability", rel)
+	}
+	// The exact parallel-of-two reliability; the rare-event lower bound
+	// must not exceed it, and the interval must bracket it.
+	q := 1 - math.Exp(-0.1)
+	exact := 1 - q*q
+	if rel.Bound.Lower > exact || rel.Bound.Upper < exact {
+		t.Errorf("bound [%g, %g] does not bracket exact %g", rel.Bound.Lower, rel.Bound.Upper, exact)
+	}
+	if rel.Value != rel.Bound.Lower {
+		t.Errorf("Value %g is not the conservative endpoint %g", rel.Value, rel.Bound.Lower)
+	}
+	if rel.Bound.Lower < 0 || rel.Bound.Upper > 1 {
+		t.Errorf("bound [%g, %g] escapes [0,1]", rel.Bound.Lower, rel.Bound.Upper)
+	}
+	if got[1].Measure != "mincuts" || len(got[1].Sets) != 1 || got[1].Bound != nil {
+		t.Errorf("mincuts result = %+v, want one exact cut set", got[1])
+	}
+}
+
+func TestSolveBoundsFaultTreeTop(t *testing.T) {
+	s := specFromJSON(t, `{
+		"type": "faulttree",
+		"faulttree": {
+			"events": [
+				{"name": "e1", "prob": 0.01},
+				{"name": "e2", "prob": 0.02},
+				{"name": "e3", "prob": 0.03}
+			],
+			"top": {"op": "or", "children": [
+				{"op": "and", "children": [{"event": "e1"}, {"event": "e2"}]},
+				{"event": "e3"}
+			]},
+			"measures": ["top"]
+		}
+	}`)
+	got, err := SolveBounds(s)
+	if err != nil {
+		t.Fatalf("SolveBounds: %v", err)
+	}
+	if len(got) != 1 || got[0].Bound == nil {
+		t.Fatalf("got %+v, want one bounded result", got)
+	}
+	// Rare-event bound: 0.01*0.02 + 0.03.
+	wantUpper := 0.01*0.02 + 0.03
+	if math.Abs(got[0].Bound.Upper-wantUpper) > 1e-12 {
+		t.Errorf("upper = %g, want %g", got[0].Bound.Upper, wantUpper)
+	}
+	if got[0].Bound.Lower != 0 || got[0].Value != got[0].Bound.Upper {
+		t.Errorf("bound = %+v, want [0, upper] with conservative Value", got[0])
+	}
+	// The exact answer must sit inside the interval.
+	exact, err := Solve(s)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if exact[0].Value > got[0].Bound.Upper {
+		t.Errorf("exact %g above bound %g", exact[0].Value, got[0].Bound.Upper)
+	}
+}
+
+func TestSolveBoundsFaultTreeTopAt(t *testing.T) {
+	s := specFromJSON(t, `{
+		"type": "faulttree",
+		"faulttree": {
+			"events": [
+				{"name": "e1", "prob": 0, "lifetime": {"kind": "exponential", "rate": 0.001}},
+				{"name": "e2", "prob": 0, "lifetime": {"kind": "exponential", "rate": 0.002}}
+			],
+			"top": {"op": "and", "children": [{"event": "e1"}, {"event": "e2"}]},
+			"measures": ["topAt"],
+			"time": 50
+		}
+	}`)
+	got, err := SolveBounds(s)
+	if err != nil {
+		t.Fatalf("SolveBounds: %v", err)
+	}
+	want := (1 - math.Exp(-0.05)) * (1 - math.Exp(-0.1))
+	if math.Abs(got[0].Bound.Upper-want) > 1e-12 {
+		t.Errorf("topAt upper = %g, want %g", got[0].Bound.Upper, want)
+	}
+}
+
+func TestSolveBoundsNoDegradedPath(t *testing.T) {
+	ctmc := specFromJSON(t, `{
+		"type": "ctmc",
+		"ctmc": {
+			"transitions": [{"from": "up", "to": "down", "rate": 1}, {"from": "down", "to": "up", "rate": 10}],
+			"measures": ["availability"],
+			"upStates": ["up"]
+		}
+	}`)
+	if _, err := SolveBounds(ctmc); !errors.Is(err, ErrNoDegraded) {
+		t.Errorf("ctmc err = %v, want ErrNoDegraded", err)
+	}
+	// An rbd whose only measures need the quadrature path has nothing to
+	// bound either.
+	avail := specFromJSON(t, `{
+		"type": "rbd",
+		"rbd": {
+			"components": [{"name": "a",
+				"lifetime": {"kind": "exponential", "rate": 0.001},
+				"repair": {"kind": "exponential", "rate": 0.1}}],
+			"structure": {"comp": "a"},
+			"measures": ["availability"]
+		}
+	}`)
+	if _, err := SolveBounds(avail); !errors.Is(err, ErrNoDegraded) {
+		t.Errorf("rbd availability err = %v, want ErrNoDegraded", err)
+	}
+}

@@ -31,6 +31,27 @@ func seedModels(f *testing.F) {
 	f.Add([]byte(`{"type":"rbd","rbd":{"structure":{"comp":"x"}}}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`{"type":"faulttree","faulttree":{"top":{"op":"and"}}}`))
+	// The chaos-drill document mix (cmd/relcli chaos): fixtures chosen
+	// to route traffic through every failpoint-instrumented solver
+	// layer, plus the deliberately broken inputs the drill keeps 4xx.
+	f.Add([]byte(`{"type":"ctmc","name":"chaos-chain","ctmc":{
+		"transitions":[{"from":"a","to":"b","rate":1},{"from":"b","to":"c","rate":2},{"from":"c","to":"a","rate":3}],
+		"measures":["steadystate"],"solver":"chain"}}`))
+	f.Add([]byte(`{"type":"ctmc","name":"chaos-transient","ctmc":{
+		"transitions":[{"from":"up","to":"down","rate":0.01},{"from":"down","to":"up","rate":1}],
+		"initial":"up","upStates":["up"],"measures":["transient"],"time":10}}`))
+	f.Add([]byte(`{"type":"rbd","name":"chaos-rbd","rbd":{
+		"components":[{"name":"a","lifetime":{"kind":"exponential","rate":0.001}},
+			{"name":"b","lifetime":{"kind":"exponential","rate":0.001}}],
+		"structure":{"op":"parallel","children":[{"comp":"a"},{"comp":"b"}]},
+		"measures":["reliability"],"time":100}}`))
+	f.Add([]byte(`{"type":"faulttree","name":"chaos-ft","faulttree":{
+		"events":[{"name":"e1","prob":0.01},{"name":"e2","prob":0.02},{"name":"e3","prob":0.03}],
+		"top":{"op":"or","children":[{"op":"and","children":[{"event":"e1"},{"event":"e2"}]},{"event":"e3"}]},
+		"measures":["top"],"bddBudget":2}}`))
+	f.Add([]byte(`{this is not json`))
+	f.Add([]byte(`{"type":"ctmc","name":"chaos-bad","ctmc":{
+		"transitions":[{"from":"a","to":"b","rate":1}],"measures":["no-such-measure"]}}`))
 }
 
 // FuzzLoadDocument fuzzes the JSON model parser: Parse must never panic,

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/faulttree"
 	"repro/internal/guard"
 	"repro/internal/hier"
@@ -25,12 +26,25 @@ import (
 type Result struct {
 	// Measure names the measure.
 	Measure string `json:"measure"`
-	// Value holds a scalar result (NaN-free; unused for set results).
+	// Value holds a scalar result (NaN-free; unused for set results). For
+	// degraded bounds-only answers it is the conservative endpoint of
+	// Bound (see SolveBounds).
 	Value float64 `json:"value,omitempty"`
 	// Sets holds set-valued results (cut sets, path sets).
 	Sets [][]string `json:"sets,omitempty"`
 	// Detail holds per-item results (importance measures).
 	Detail map[string]float64 `json:"detail,omitempty"`
+	// Bound carries the certified interval of a degraded bounds-only
+	// answer (nil for exact results).
+	Bound *Bound `json:"bound,omitempty"`
+}
+
+// Bound is a certified interval attached to a degraded bounds-only
+// Result: the true value provably lies in [Lower, Upper].
+type Bound struct {
+	Lower  float64 `json:"lower"`
+	Upper  float64 `json:"upper"`
+	Method string  `json:"method"`
 }
 
 // SolveOptions configures optional solver-entry behavior.
@@ -140,6 +154,9 @@ func solve(s *Spec, rec obs.Recorder, env solveEnv) ([]Result, error) {
 	if err := guard.Ctx(env.ctx, "modelio.solve", 0, math.NaN()); err != nil {
 		return nil, err
 	}
+	if err := failpoint.InjectCtx(env.ctx, fpBuild); err != nil {
+		return nil, err
+	}
 	switch s.Type {
 	case "rbd":
 		return solveRBD(s.RBD, rec, env)
@@ -169,24 +186,9 @@ func solveRBD(spec *RBDSpec, rec obs.Recorder, env solveEnv) ([]Result, error) {
 	if spec.Structure == nil {
 		return nil, fmt.Errorf("%w: rbd without structure", ErrBadSpec)
 	}
-	pool := make(map[string]*rbd.Component, len(spec.Components))
-	for _, cs := range spec.Components {
-		if cs.Name == "" {
-			return nil, fmt.Errorf("%w: unnamed component", ErrBadSpec)
-		}
-		life, err := cs.Lifetime.Distribution()
-		if err != nil {
-			return nil, fmt.Errorf("component %q lifetime: %w", cs.Name, err)
-		}
-		comp := &rbd.Component{Name: cs.Name, Lifetime: life}
-		if cs.Repair != nil {
-			rep, err := cs.Repair.Distribution()
-			if err != nil {
-				return nil, fmt.Errorf("component %q repair: %w", cs.Name, err)
-			}
-			comp.Repair = rep
-		}
-		pool[cs.Name] = comp
+	pool, err := buildRBDPool(spec)
+	if err != nil {
+		return nil, err
 	}
 	block, err := buildBlock(spec.Structure, pool)
 	if err != nil {
@@ -296,20 +298,9 @@ func solveFaultTree(spec *FaultTreeSpec, rec obs.Recorder, env solveEnv) ([]Resu
 	if spec.Top == nil {
 		return nil, fmt.Errorf("%w: faulttree without top gate", ErrBadSpec)
 	}
-	pool := make(map[string]*faulttree.Event, len(spec.Events))
-	for _, es := range spec.Events {
-		if es.Name == "" {
-			return nil, fmt.Errorf("%w: unnamed event", ErrBadSpec)
-		}
-		e := &faulttree.Event{Name: es.Name, Prob: es.Prob}
-		if es.Lifetime != nil {
-			life, err := es.Lifetime.Distribution()
-			if err != nil {
-				return nil, fmt.Errorf("event %q lifetime: %w", es.Name, err)
-			}
-			e.Lifetime = life
-		}
-		pool[es.Name] = e
+	pool, err := buildFTPool(spec)
+	if err != nil {
+		return nil, err
 	}
 	node, err := buildGate(spec.Top, pool)
 	if err != nil {

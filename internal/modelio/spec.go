@@ -12,6 +12,15 @@ import (
 	"io"
 
 	"repro/internal/dist"
+	"repro/internal/failpoint"
+)
+
+// Failpoints this package declares (see internal/failpoint). An injected
+// parse fault surfaces as the raw *failpoint.Error (not ErrBadSpec), so
+// callers can tell "the document is bad" from "the parser broke".
+const (
+	fpParse = "modelio.parse"
+	fpBuild = "modelio.build"
 )
 
 // Spec is the top-level model document.
@@ -217,6 +226,9 @@ type RGEdge struct {
 
 // Parse reads and validates a model document.
 func Parse(r io.Reader) (*Spec, error) {
+	if err := failpoint.Inject(fpParse); err != nil {
+		return nil, err
+	}
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var s Spec

@@ -4,7 +4,14 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/failpoint"
 )
+
+// fpStorePut is the TraceStore ingestion failpoint: an injected error
+// drops the record (observability loss must never fail a solve), a panic
+// exercises the serve layer's per-request isolation.
+const fpStorePut = "obs.store.put"
 
 // TraceRecord is one completed solve (or analyze) request retained by a
 // TraceStore. The metadata fields — model, solver, outcome, wall time —
@@ -101,8 +108,13 @@ func NewTraceStore(capacity int) *TraceStore {
 
 // Put assigns the record an ID and sequence number, stores it (evicting
 // the oldest record when at capacity), and returns the ID. An empty
-// Outcome is normalized to "ok".
+// Outcome is normalized to "ok". Under an armed obs.store.put failpoint
+// the record is dropped and Put returns "" — losing a trace must never
+// lose the solve.
 func (s *TraceStore) Put(rec TraceRecord) string {
+	if err := failpoint.Inject(fpStorePut); err != nil {
+		return ""
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++

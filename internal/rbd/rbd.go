@@ -120,6 +120,12 @@ func New(root *Block) (*Model, error) {
 		return nil, err
 	}
 	m.failure = down
+	if err := m.mgr.AllocFailure(); err != nil {
+		return nil, err
+	}
+	if err := m.dualMgr.AllocFailure(); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 

@@ -73,6 +73,23 @@ type Config struct {
 	InFlight func() int
 	// Start anchors the uptime report (zero means "now").
 	Start time.Time
+	// Resilience snapshots the serve-layer protection state — admission
+	// queue occupancy, breaker states, shed/degraded counts, draining —
+	// for /api/summary and the index page (nil hides the section).
+	Resilience func() Resilience
+}
+
+// Resilience is the serve-layer protection snapshot the dashboard
+// renders: is the process draining, how full is the admission queue,
+// which model-class circuit breakers have left the closed state, and
+// how much traffic has been shed or answered with degraded bounds.
+type Resilience struct {
+	Draining bool              `json:"draining"`
+	QueueLen int               `json:"queue_len"`
+	QueueCap int               `json:"queue_cap"`
+	Breakers map[string]string `json:"breakers,omitempty"`
+	Shed     float64           `json:"shed_total"`
+	Degraded float64           `json:"degraded_total"`
 }
 
 // Handler serves the dashboard pages and their JSON APIs.
@@ -237,6 +254,7 @@ type summaryPayload struct {
 	ErrorRate      float64        `json:"error_rate"`
 	InFlight       int            `json:"in_flight"`
 	TraceStore     storeOccupancy `json:"trace_store"`
+	Resilience     *Resilience    `json:"resilience,omitempty"`
 }
 
 type storeOccupancy struct {
@@ -263,6 +281,10 @@ func (h *Handler) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if h.cfg.InFlight != nil {
 		p.InFlight = h.cfg.InFlight()
 	}
+	if h.cfg.Resilience != nil {
+		res := h.cfg.Resilience()
+		p.Resilience = &res
+	}
 	writeJSON(w, http.StatusOK, p)
 }
 
@@ -279,6 +301,7 @@ type indexData struct {
 	Lumps              []lumpRow
 	Bench              []bench.TrendPoint
 	BenchErr           string
+	Resilience         *Resilience
 }
 
 // solverRow is one {solver, model} wall-time histogram series condensed
@@ -316,6 +339,10 @@ func (h *Handler) handleIndex(w http.ResponseWriter, r *http.Request) {
 		StoreCap: h.cfg.Store.Cap(),
 	}
 	h.fillHighlights(&data)
+	if h.cfg.Resilience != nil {
+		res := h.cfg.Resilience()
+		data.Resilience = &res
+	}
 	if h.cfg.BenchPath != "" {
 		if trend, err := bench.LoadTrend(h.cfg.BenchPath); err != nil {
 			data.BenchErr = err.Error()

@@ -83,6 +83,18 @@ if [[ "${CHECK_FUZZ:-0}" == "1" ]]; then
         echo "== fuzz smoke: $target"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime=10s ./internal/modelio/
     done
+    echo "== fuzz smoke: FuzzSolveBody"
+    go test -run='^$' -fuzz='^FuzzSolveBody$' -fuzztime=10s ./cmd/relcli/
+fi
+
+# Chaos smoke is opt-in (CHECK_CHAOS=1): the seeded fault-injection
+# drill from `relcli chaos` under the race detector — a 200-request
+# swarm against the real handler stack with every resilience invariant
+# enforced (typed outcomes, finite results, breaker open/re-close, no
+# goroutine leaks). The seed is fixed so failures reproduce exactly.
+if [[ "${CHECK_CHAOS:-0}" == "1" ]]; then
+    echo "== chaos smoke"
+    go run -race ./cmd/relcli chaos -requests 200 -swarm 8 -seed 42
 fi
 
 echo "all checks passed"
