@@ -59,6 +59,7 @@ func BenchmarkE11Rejuvenation(b *testing.B) { benchExperiment(b, "E11") }
 func BenchmarkE12RelGraph(b *testing.B)     { benchExperiment(b, "E12") }
 func BenchmarkE13Lumping(b *testing.B)      { benchExperiment(b, "E13") }
 func BenchmarkE14AutoLump(b *testing.B)     { benchExperiment(b, "E14") }
+func BenchmarkE15JobSweep(b *testing.B)     { benchExperiment(b, "E15") }
 
 // --- solver-kernel micro-benchmarks -----------------------------------
 

@@ -21,7 +21,18 @@ const (
 	ruleGoroutineNoCtx = "goroutine-no-ctx"
 	ruleDeferInLoop    = "defer-in-loop"
 	ruleStrayRecover   = "stray-recover"
+	ruleNondet         = "nondeterminism"
 )
+
+// shardExecPkgs are the packages whose results must be pure functions of
+// their seeds — sharded sweep execution, where any wall-clock read or
+// globally-seeded random draw silently breaks the resume-bit-identical
+// contract. time.Now() and the global math/rand functions are flagged
+// there; explicitly seeded sources (rand.New, rand.NewSource) are fine.
+var shardExecPkgs = map[string]bool{
+	"uncertainty": true,
+	"jobs":        true,
+}
 
 // Finding is one rule violation.
 type Finding struct {
@@ -164,6 +175,16 @@ func (v *visitor) inspect(n ast.Node) bool {
 			v.report(n.Pos(), ruleTimeSleep,
 				"time.Sleep in library function %s; use time.NewTimer with select so waits stay cancellable", v.funcName)
 		}
+		if shardExecPkgs[v.pkgName] {
+			if v.isTimeNow(n) {
+				v.report(n.Pos(), ruleNondet,
+					"time.Now in shard-execution function %s; results must be pure functions of the seed — pass timestamps in or justify with an allow comment", v.funcName)
+			}
+			if name, ok := v.globalRandCall(n); ok {
+				v.report(n.Pos(), ruleNondet,
+					"globally-seeded rand.%s in shard-execution function %s; draw from an explicitly seeded source (uncertainty.ShardRNG, rand.New) instead", name, v.funcName)
+			}
+		}
 	case *ast.ExprStmt:
 		call, ok := n.X.(*ast.CallExpr)
 		if !ok {
@@ -258,6 +279,44 @@ func (v *visitor) isTimeSleep(call *ast.CallExpr) bool {
 		return false
 	}
 	return obj.Pkg().Path() == "time"
+}
+
+// isTimeNow reports whether the call resolves to the standard library's
+// time.Now.
+func (v *visitor) isTimeNow(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	obj := v.info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// globalRandCall reports whether the call is a package-level math/rand
+// (or math/rand/v2) function drawing from the process-global source.
+// Constructors for explicitly seeded sources are exempt: determinism is
+// exactly what they exist for.
+func (v *visitor) globalRandCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := v.info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if p := obj.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return "", false // a method on *rand.Rand draws from its own source
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return "", false
+	}
+	return fn.Name(), true
 }
 
 // isFloat reports whether the expression has a floating-point type.

@@ -516,3 +516,56 @@ func RecoverPanic(err *error) {
 		t.Errorf("stray-recover finding at line %d, want 5: %v", fs[0].Pos.Line, fs[0])
 	}
 }
+
+// TestNondeterminismRule pins the shard-execution purity rule: packages
+// named uncertainty or jobs may not read the wall clock or draw from the
+// globally seeded math/rand source; explicitly seeded sources and other
+// packages are untouched.
+func TestNondeterminismRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"jobs/jobs.go": `package jobs
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now()
+}
+
+func Draw() float64 {
+	return rand.Float64()
+}
+
+func Seeded(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+func Allowed() time.Time {
+	return time.Now() //numvet:allow nondeterminism wall-clock bookkeeping only
+}
+`,
+		// The same constructs outside a shard-execution package are fine.
+		"other/other.go": `package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Draw() float64 { return rand.Float64() }
+`,
+	})
+	fs := vetFixture(t, root, "./jobs", "./other")
+	if got := rules(fs)[ruleNondet]; got != 2 {
+		t.Fatalf("want 2 nondeterminism findings (Stamp, Draw in jobs), got %d: %v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Rule == ruleNondet && f.Pos.Line != 9 && f.Pos.Line != 13 {
+			t.Errorf("nondeterminism finding on unexpected line %d: %v", f.Pos.Line, f)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -99,8 +100,12 @@ func runChaos(args []string, stdout io.Writer) error {
 	swarm := fs.Int("swarm", 8, "concurrent swarm clients")
 	seed := fs.Uint64("seed", 42, "seed for the probabilistic failpoint triggers")
 	schedule := fs.String("failpoints", "", "failpoint schedule override (default: built-in seeded schedule)")
+	killResume := fs.Bool("kill-resume", false, "run the job-durability drill instead of the solve swarm: kill a server mid-sweep, resume from the WAL, demand bit-identical quantiles")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *killResume {
+		return chaosKillResume(*seed, stdout)
 	}
 	sched := *schedule
 	if sched == "" {
@@ -243,6 +248,211 @@ func chaosOneRequest(client *http.Client, base, name, doc string, violate func(s
 			}
 		}
 	}
+}
+
+// killResumeReport is the JSON summary of the durability drill.
+type killResumeReport struct {
+	Job           string   `json:"job"`
+	Shards        int      `json:"shards"`
+	DoneAtKill    int      `json:"done_at_kill"`
+	Resumed       int      `json:"resumed_jobs"`
+	ResumedShards int      `json:"resumed_shards"`
+	Identical     bool     `json:"result_identical"`
+	Violations    []string `json:"violations,omitempty"`
+}
+
+// killResumeDoc is the drill's sweep: 30 shards of 50 samples over the
+// two-state pair model with a lognormally uncertain failure rate. The
+// seed inside the document, not wall-clock anything, determines every
+// sampled value — the whole point of the drill.
+const killResumeDoc = `{
+  "model": {"type":"ctmc","name":"kill-resume","ctmc":{"transitions":[
+    {"from":"up","to":"down","rate":0.01},{"from":"down","to":"up","rate":1}],
+    "upStates":["up"],"measures":["availability"]}},
+  "measure": "availability",
+  "params": [{"name":"lambda","dist":{"kind":"lognormal","mu":-4.6,"sigma":0.3},"from":"up","to":"down"}],
+  "samples": 1500,
+  "shard_size": 50,
+  "seed": %d
+}`
+
+// chaosKillResume is the durability drill behind `relcli chaos
+// -kill-resume`: run a sweep job uninterrupted for reference, then run
+// the same job on a checkpointing server that is killed mid-sweep (a
+// stalled-shard failpoint guarantees the kill lands with work
+// outstanding, and a checkpoint-write fault proves a lost checkpoint
+// only costs recomputation), boot a fresh server over the same
+// directory, and demand the resumed job finishes with bit-identical
+// folded quantiles.
+func chaosKillResume(seed uint64, stdout io.Writer) error {
+	doc := fmt.Sprintf(killResumeDoc, seed)
+	rep := killResumeReport{}
+	violate := func(format string, a ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, a...))
+	}
+	failpoint.Reset()
+	defer failpoint.Reset()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	postJob := func(base string) (jobResponse, int) {
+		req, _ := http.NewRequest(http.MethodPost, base+"/jobs", strings.NewReader(doc))
+		req.Header.Set("Idempotency-Key", "kill-resume-drill")
+		resp, err := client.Do(req)
+		if err != nil {
+			violate("job submit failed: %v", err)
+			return jobResponse{}, 0
+		}
+		defer resp.Body.Close()
+		var jr jobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			violate("job submit reply is not JSON: %v", err)
+		}
+		return jr, resp.StatusCode
+	}
+	getJob := func(base, id string) jobResponse {
+		resp, err := client.Get(base + "/jobs/" + id)
+		if err != nil {
+			violate("job poll failed: %v", err)
+			return jobResponse{}
+		}
+		defer resp.Body.Close()
+		var jr jobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			violate("job poll reply is not JSON: %v", err)
+		}
+		return jr
+	}
+	waitState := func(base, id string, want func(*jobResponse) bool, what string) jobResponse {
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			jr := getJob(base, id)
+			if jr.Job != nil && want(&jr) {
+				return jr
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		violate("timed out waiting for %s", what)
+		return jobResponse{}
+	}
+	done := func(jr *jobResponse) bool { return jr.Job.State != "running" }
+
+	// Reference: the same document, uninterrupted, in memory.
+	_, refMux, err := newSolveServer(serveConfig{Registry: metrics.NewRegistry(), UI: false})
+	if err != nil {
+		return err
+	}
+	refTS := httptest.NewServer(refMux)
+	refSub, _ := postJob(refTS.URL)
+	if refSub.Job == nil {
+		refTS.Close()
+		return fmt.Errorf("chaos: reference submission failed: %v", rep.Violations)
+	}
+	ref := waitState(refTS.URL, refSub.Job.ID, done, "reference run")
+	refTS.Close()
+	if ref.Job == nil || ref.Job.State != "done" {
+		return fmt.Errorf("chaos: reference run did not finish: %v", rep.Violations)
+	}
+	refResult, _ := json.Marshal(ref.Job.Result)
+
+	// Victim: durable server. One shard stalls for 30s from the 8th
+	// attempt on, guaranteeing the kill lands mid-sweep; one checkpoint
+	// append is eaten to prove durability does not depend on every
+	// checkpoint landing.
+	dir, err := os.MkdirTemp("", "relcli-kill-resume-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := failpoint.Arm("jobs.shard", "after(8)->delay(30s)"); err != nil {
+		return err
+	}
+	if err := failpoint.Arm("jobs.checkpoint.write", "times(1)->error(chaos: checkpoint eaten)"); err != nil {
+		return err
+	}
+	victim, victimMux, err := newSolveServer(serveConfig{
+		Registry: metrics.NewRegistry(), UI: false, JobsDir: dir, JobWorkers: 2,
+	})
+	if err != nil {
+		return err
+	}
+	victimTS := httptest.NewServer(victimMux)
+	sub, code := postJob(victimTS.URL)
+	if sub.Job == nil {
+		victimTS.Close()
+		return fmt.Errorf("chaos: victim submission failed (%d): %v", code, rep.Violations)
+	}
+	rep.Job, rep.Shards = sub.Job.ID, sub.Job.Shards
+	partial := waitState(victimTS.URL, sub.Job.ID,
+		func(jr *jobResponse) bool { return jr.Job.DoneShards >= 3 }, "partial progress on the victim")
+	if partial.Job != nil {
+		rep.DoneAtKill = partial.Job.DoneShards
+	}
+	if rep.DoneAtKill >= rep.Shards {
+		violate("victim finished before the kill; drill proves nothing")
+	}
+	// kill -9 equivalent: cancel every shard, record nothing terminal.
+	victim.jobs.Abort()
+	victimTS.Close()
+	failpoint.Reset()
+
+	// Survivor: fresh process over the same checkpoint directory.
+	survivorReg := metrics.NewRegistry()
+	survivor, survivorMux, err := newSolveServer(serveConfig{
+		Registry: survivorReg, UI: false, JobsDir: dir,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Resumed = survivor.jobsResumed
+	if rep.Resumed != 1 {
+		violate("survivor resumed %d jobs, want 1", rep.Resumed)
+	}
+	survivorTS := httptest.NewServer(survivorMux)
+	final := waitState(survivorTS.URL, sub.Job.ID, done, "resumed run")
+	if final.Job != nil {
+		if final.Job.State != "done" {
+			violate("resumed job ended %s (%s), want done", final.Job.State, final.Job.Error)
+		}
+		if !final.Job.Resumed {
+			violate("resumed job not flagged as resumed")
+		}
+		got, _ := json.Marshal(final.Job.Result)
+		rep.Identical = string(got) == string(refResult)
+		if !rep.Identical {
+			violate("resumed result differs from uninterrupted run:\n%s\n%s", got, refResult)
+		}
+	}
+	// Idempotent re-submission must still dedupe after recovery.
+	if replay, code := postJob(survivorTS.URL); replay.Job == nil || replay.Job.ID != sub.Job.ID || code != http.StatusOK {
+		violate("post-recovery idempotent replay: got %v (%d), want job %s with 200", replay.Job, code, sub.Job.ID)
+	}
+	survivorTS.Close()
+	// How many shards the survivor pre-filled from the log (the eaten
+	// checkpoint means this can trail the kill-time count by one).
+	for _, f := range survivorReg.Snapshot() {
+		if f.Name != "reljob_shards_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			if len(s.LabelValues) == 1 && s.LabelValues[0] == "resumed" {
+				rep.ResumedShards = int(s.Value)
+			}
+		}
+	}
+	if rep.ResumedShards == 0 {
+		violate("survivor resumed no checkpointed shards; the WAL was empty at the kill")
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("chaos: %d durability violation(s)", len(rep.Violations))
+	}
+	fmt.Fprintf(stdout, "chaos: kill at %d/%d shards, resume produced bit-identical quantiles\n", rep.DoneAtKill, rep.Shards)
+	return nil
 }
 
 // chaosHealthz asserts the health endpoint stays answerable under load.

@@ -40,6 +40,30 @@ func TestChaosSmoke(t *testing.T) {
 // TestChaosScheduleDeterminism: the same seed arms byte-identical
 // failpoint schedules — the reproducibility contract chaos reports
 // depend on.
+// TestChaosKillResume runs the durability drill end to end: kill a
+// checkpointing server mid-sweep, resume on a fresh one, demand
+// bit-identical folded quantiles.
+func TestChaosKillResume(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	var out bytes.Buffer
+	if err := runChaos([]string{"-kill-resume", "-seed", "7"}, &out); err != nil {
+		t.Fatalf("kill-resume drill failed: %v\n%s", err, out.String())
+	}
+	var rep killResumeReport
+	if err := json.NewDecoder(&out).Decode(&rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if !rep.Identical {
+		t.Error("resumed result not bit-identical to the uninterrupted run")
+	}
+	if rep.DoneAtKill <= 0 || rep.DoneAtKill >= rep.Shards {
+		t.Errorf("kill landed at %d/%d shards; the drill needs a mid-sweep kill", rep.DoneAtKill, rep.Shards)
+	}
+	if rep.ResumedShards <= 0 {
+		t.Error("no shards were resumed from the WAL")
+	}
+}
+
 func TestChaosScheduleDeterminism(t *testing.T) {
 	if chaosSchedule(42) != chaosSchedule(42) {
 		t.Error("same seed produced different schedules")

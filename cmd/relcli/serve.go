@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/failpoint"
 	"repro/internal/guard"
+	"repro/internal/jobs"
 	"repro/internal/lint"
 	"repro/internal/metrics"
 	"repro/internal/modelio"
@@ -72,18 +73,27 @@ type serveConfig struct {
 	TraceStoreSize int
 	// BenchPath locates the committed bench baseline for /api/bench.
 	BenchPath string
+	// JobsDir is the checkpoint directory for the async sweep job engine
+	// (empty runs jobs in memory only, with no crash recovery).
+	JobsDir string
+	// JobWorkers bounds concurrently running sweep shards (0 means 4).
+	JobWorkers int
 }
 
 // solveServer is the long-running HTTP solve service behind
 // `relcli serve`.
 type solveServer struct {
-	cfg      serveConfig
-	adm      *admission
-	brk      *breakerSet
-	store    *obs.TraceStore
-	win      *reldash.Window
-	start    time.Time
-	draining atomic.Bool
+	cfg   serveConfig
+	adm   *admission
+	brk   *breakerSet
+	store *obs.TraceStore
+	win   *reldash.Window
+	jobs  *jobs.Engine
+	// jobsResumed counts the incomplete jobs Recover picked up from the
+	// checkpoint directory at boot.
+	jobsResumed int
+	start       time.Time
+	draining    atomic.Bool
 
 	requests *metrics.Counter
 	latency  *metrics.Histogram
@@ -156,10 +166,35 @@ func newSolveServer(cfg serveConfig) (*solveServer, *http.ServeMux, error) {
 	s.brk = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown,
 		func(class string) { s.breaker.Inc(class) })
 	failpoint.SetOnTrip(func(name string) { s.fpTrips.Inc(name) })
+	jobLogf := func(string, ...any) {}
+	if cfg.Logger != nil {
+		jobLogf = func(format string, args ...any) {
+			cfg.Logger.Warn(fmt.Sprintf(format, args...))
+		}
+	}
+	eng, err := jobs.New(jobs.Config{
+		Dir:      cfg.JobsDir,
+		Workers:  cfg.JobWorkers,
+		Registry: cfg.Registry,
+		Logf:     jobLogf,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	s.jobs = eng
+	// Incomplete jobs left behind by a killed process resume here, before
+	// the socket opens — the durability contract of the WAL checkpoints.
+	if s.jobsResumed, err = eng.Recover(); err != nil {
+		return nil, nil, err
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", s.isolated("/solve", s.handleSolve))
 	mux.HandleFunc("POST /analyze", s.isolated("/analyze", s.handleAnalyze))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /jobs", s.isolated("/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /jobs", s.isolated("/jobs", s.handleJobList))
+	mux.HandleFunc("GET /jobs/{id}", s.isolated("/jobs", s.handleJobGet))
+	mux.HandleFunc("DELETE /jobs/{id}", s.isolated("/jobs", s.handleJobCancel))
 	obs.RegisterDebug(mux, cfg.Registry)
 	if cfg.UI {
 		dash, err := reldash.NewHandler(reldash.Config{
@@ -170,6 +205,7 @@ func newSolveServer(cfg serveConfig) (*solveServer, *http.ServeMux, error) {
 			InFlight:   func() int { return int(s.inflight.Value()) },
 			Start:      s.start,
 			Resilience: s.resilience,
+			Jobs:       s.jobRows,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -234,6 +270,14 @@ type healthzResponse struct {
 	Queue    healthzOccupancy  `json:"queue"`
 	Breakers map[string]string `json:"breakers,omitempty"`
 	Store    healthzOccupancy  `json:"trace_store"`
+	Jobs     healthzJobs       `json:"jobs"`
+}
+
+// healthzJobs summarizes the async job engine for the probe reply.
+type healthzJobs struct {
+	Active  int `json:"active"`
+	Known   int `json:"known"`
+	Resumed int `json:"resumed"`
 }
 
 type healthzOccupancy struct {
@@ -254,6 +298,7 @@ func (s *solveServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Queue:    healthzOccupancy{Len: s.adm.queueLen(), Cap: s.adm.queueCap()},
 		Breakers: s.brk.snapshot(),
 		Store:    healthzOccupancy{Len: s.store.Len(), Cap: s.store.Cap()},
+		Jobs:     s.jobsHealth(),
 	}
 	if s.draining.Load() {
 		resp.Status = "draining"
@@ -615,6 +660,8 @@ func runServe(args []string, stdout io.Writer) error {
 	ui := fs.Bool("ui", true, "mount the reldash dashboard at /ui (and its /api/* routes)")
 	traceStoreSize := fs.Int("trace-store-size", 256, "completed solve traces retained for the dashboard")
 	benchPath := fs.String("bench", "BENCH_solvers.json", "bench baseline JSON backing /api/bench")
+	jobsDir := fs.String("jobs-dir", "", "checkpoint directory for async sweep jobs; killed processes resume incomplete jobs from it (empty disables durability)")
+	jobWorkers := fs.Int("job-workers", 4, "concurrently running sweep shards across all jobs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -649,6 +696,8 @@ func runServe(args []string, stdout io.Writer) error {
 		UI:               *ui,
 		TraceStoreSize:   *traceStoreSize,
 		BenchPath:        *benchPath,
+		JobsDir:          *jobsDir,
+		JobWorkers:       *jobWorkers,
 	})
 	if err != nil {
 		return err
@@ -662,19 +711,34 @@ func runServe(args []string, stdout io.Writer) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(stdout, "relcli: serving on http://%s (POST /solve, /ui, /metrics, /healthz, /debug/pprof/)\n",
+	fmt.Fprintf(stdout, "relcli: serving on http://%s (POST /solve, POST /jobs, /ui, /metrics, /healthz, /debug/pprof/)\n",
 		ln.Addr())
+	if s.jobsResumed > 0 {
+		fmt.Fprintf(stdout, "relcli: resumed %d incomplete sweep job(s) from %s\n", s.jobsResumed, *jobsDir)
+	}
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
 	// Flip to draining first: /healthz answers 503 "draining" and new
-	// solves are refused while in-flight ones get the grace period.
+	// solves and job submissions are refused while in-flight work gets
+	// the grace period.
 	s.draining.Store(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	// The job engine drains concurrently with the HTTP listener: queued
+	// shards stay queued (their WAL checkpoints carry them to the next
+	// process), in-flight shards finish and checkpoint, and past the
+	// grace period the remaining shards are hard-canceled — still safe,
+	// an uncheckpointed shard is simply recomputed on resume.
+	jobsDone := make(chan error, 1)
+	go func() { jobsDone <- s.jobs.Close(shutdownCtx) }()
+	err = srv.Shutdown(shutdownCtx)
+	if jerr := <-jobsDone; jerr != nil {
+		fmt.Fprintf(stdout, "relcli: job drain cut short, unfinished shards recompute on resume: %v\n", jerr)
+	}
+	if err != nil {
 		// Grace expired with solves still running: close the connections,
 		// which cancels their request contexts and interrupts the solvers.
 		return srv.Close()

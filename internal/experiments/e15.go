@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/modelio"
+	"repro/internal/obs"
+)
+
+// e15SamplesEnv overrides the sweep sizes for the full-scale run:
+// E15_SAMPLES=10000000 runs a single ten-million-sample sweep (the
+// EXPERIMENTS.md E15 headline numbers). Unset, the experiment runs
+// CI-sized sweeps so the suite stays fast.
+const e15SamplesEnv = "E15_SAMPLES"
+
+// E15JobSweep is the extension experiment for the reljob async engine:
+// a sharded Monte Carlo uncertainty sweep over the bundled
+// models/repairfarm.json CTMC, run through internal/jobs exactly as a
+// `POST /jobs` submission would be. The uncertain input is the first
+// failure rate, scaled by a median-1 lognormal factor (σ = 0.25, i.e.
+// "known to roughly ±25%"). Availability is monotone in that rate, so
+// the sweep's P50 must agree with the exact SOR solve of the unmodified
+// document — a quantile-agreement check that exercises the full
+// shard/fold pipeline, not just the sampler. The table reports wall
+// time, throughput, and the process peak RSS, demonstrating the O(1)
+// memory contract: the footprint is flat in the sample count because
+// shards fold into streaming P² estimators instead of retaining samples.
+func E15JobSweep(rec obs.Recorder) (*core.Table, error) {
+	t := &core.Table{
+		ID:      "E15",
+		Title:   "Async job engine: sharded uncertainty sweep matches the exact solve in O(1) memory (extension)",
+		Columns: []string{"samples", "shards", "wall_ms", "samples_per_s", "peak_rss_mb", "p05", "p50", "p95", "exact_avail", "p50_rel_err"},
+		Notes:   "peak RSS is the process high-water mark (monotone across rows); E15_SAMPLES=10000000 reruns the headline sweep",
+	}
+	raw, err := repairFarmDocument()
+	if err != nil {
+		return nil, err
+	}
+	exact, err := exactAvailability(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	sizes := []int{2000, 20000}
+	if env := os.Getenv(e15SamplesEnv); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("E15: bad %s=%q", e15SamplesEnv, env)
+		}
+		sizes = []int{n}
+	}
+
+	eng, err := jobs.New(jobs.Config{Workers: 4, Registry: metrics.NewRegistry()})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close(context.Background())
+
+	for _, n := range sizes {
+		spec := &jobs.Spec{
+			Model:   raw,
+			Measure: "availability",
+			Params: []jobs.ParamSpec{{
+				Name:  "lambda0",
+				Dist:  &modelio.DistSpec{Kind: "lognormal", Mu: 0, Sigma: 0.25},
+				From:  "0down",
+				To:    "1down",
+				Scale: true,
+			}},
+			Samples:   n,
+			ShardSize: 500,
+			Seed:      20160628,
+			Quantiles: []float64{0.05, 0.5, 0.95},
+		}
+
+		sp := rec.Span("samples=" + itoa(n))
+		var final *jobs.Snapshot
+		dur, err := timed(func() error {
+			snap, _, err := eng.Submit(spec, "")
+			if err != nil {
+				return err
+			}
+			final, err = eng.Wait(context.Background(), snap.ID)
+			return err
+		})
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		if final.State != jobs.StateDone || final.Result == nil {
+			return nil, fmt.Errorf("E15: job ended %s: %s", final.State, final.Error)
+		}
+
+		p05, err := final.Result.Quantile(0.05)
+		if err != nil {
+			return nil, err
+		}
+		p50, err := final.Result.Quantile(0.5)
+		if err != nil {
+			return nil, err
+		}
+		p95, err := final.Result.Quantile(0.95)
+		if err != nil {
+			return nil, err
+		}
+		if !(p05 <= p50 && p50 <= p95) {
+			return nil, fmt.Errorf("E15: quantiles disordered: %g / %g / %g", p05, p50, p95)
+		}
+		relErr := (p50 - exact) / exact
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		// The scale factor has median 1 and availability is monotone in
+		// the rate, so the sweep's median must sit on the exact solve of
+		// the unmodified document (within Monte Carlo + P² error).
+		if relErr > 0.01 {
+			return nil, fmt.Errorf("E15: P50 %g disagrees with exact availability %g (rel err %g)", p50, exact, relErr)
+		}
+
+		throughput := float64(n) / dur.Seconds()
+		if err := t.AddRow(itoa(n), itoa(final.Shards), ms(dur),
+			f64p(throughput, 0), f64p(peakRSSMB(), 1),
+			f64(p05), f64(p50), f64(p95), f64(exact), f64(relErr)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// repairFarmDocument loads the bundled machine-repair-farm model, from
+// the repo root (cmd/experiments) or the package directory (go test).
+func repairFarmDocument() ([]byte, error) {
+	var firstErr error
+	for _, path := range []string{"models/repairfarm.json", "../../models/repairfarm.json"} {
+		raw, err := os.ReadFile(path)
+		if err == nil {
+			return raw, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("E15: repairfarm model not found: %w", firstErr)
+}
+
+// exactAvailability solves the document as submitted and returns its
+// steady-state availability.
+func exactAvailability(raw []byte) (float64, error) {
+	spec, err := modelio.Parse(bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	results, err := modelio.Solve(spec)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range results {
+		if r.Measure == "availability" {
+			return r.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("E15: solve returned no availability measure")
+}
+
+// peakRSSMB reports the process peak resident set in MiB via getrusage.
+// On Linux ru_maxrss is in KiB.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024
+}

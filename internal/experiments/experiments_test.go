@@ -24,8 +24,8 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := r.IDs()
-	if len(ids) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(ids))
 	}
 	for i, id := range ids {
 		want := "E" + strconv.Itoa(i+1)
@@ -313,6 +313,44 @@ func TestE14Shape(t *testing.T) {
 	}
 }
 
+func TestE15Shape(t *testing.T) {
+	t.Setenv(e15SamplesEnv, "") // pin the CI-sized two-row sweep
+	tbl := runExp(t, "E15")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (2k and 20k samples)", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		samples := parse(t, row[0])
+		shards := parse(t, row[1])
+		if shards != samples/500 {
+			t.Errorf("row %d: shards = %g, want samples/500 = %g", i, shards, samples/500)
+		}
+		p05, p50, p95 := parse(t, row[5]), parse(t, row[6]), parse(t, row[7])
+		if !(p05 <= p50 && p50 <= p95) {
+			t.Errorf("row %d: quantiles disordered: %g / %g / %g", i, p05, p50, p95)
+		}
+		exact := parse(t, row[8])
+		// The exact solve sits inside the sweep's 5–95% band: the
+		// uncertain factor has median 1, so the distribution straddles
+		// the unmodified document's availability.
+		if exact < p05 || exact > p95 {
+			t.Errorf("row %d: exact %g outside [p05, p95] = [%g, %g]", i, exact, p05, p95)
+		}
+		if relErr := parse(t, row[9]); relErr > 0.01 {
+			t.Errorf("row %d: P50 relative error %g exceeds 1%%", i, relErr)
+		}
+		if rss := parse(t, row[4]); rss <= 0 {
+			t.Errorf("row %d: peak RSS %g not reported", i, rss)
+		}
+	}
+	// O(1) memory contract: 10× the samples must not blow up the peak
+	// RSS. The high-water mark is monotone, so allow modest growth from
+	// ordinary allocator churn, but nothing resembling sample retention.
+	if r0, r1 := parse(t, tbl.Rows[0][4]), parse(t, tbl.Rows[1][4]); r1 > 2*r0+64 {
+		t.Errorf("peak RSS grew from %g to %g MiB across a 10x sample increase", r0, r1)
+	}
+}
+
 func TestRunAllRenders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full run in long mode only")
@@ -326,7 +364,7 @@ func TestRunAllRenders(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for i := 1; i <= 14; i++ {
+	for i := 1; i <= 15; i++ {
 		if !strings.Contains(out, "E"+strconv.Itoa(i)+" — ") {
 			t.Errorf("output missing E%d", i)
 		}

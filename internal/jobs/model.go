@@ -1,0 +1,139 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/modelio"
+	"repro/internal/uncertainty"
+)
+
+// sweep is a compiled job spec: the parsed model document, the
+// uncertainty parameters, and the transition indices each parameter
+// rewrites. Compilation happens once per submission (and once per
+// resume) so the per-sample hot path only clones transitions and
+// re-solves.
+type sweep struct {
+	spec    *Spec
+	doc     *modelio.Spec
+	params  []uncertainty.Param
+	targets []paramTarget
+}
+
+// paramTarget maps one parameter onto the CTMC transitions it rewrites.
+type paramTarget struct {
+	name  string
+	idxs  []int
+	scale bool
+}
+
+// compile validates the spec and builds the sweep. Every validation
+// failure wraps ErrBadSpec so the HTTP layer can answer 400 uniformly.
+func compile(s *Spec) (*sweep, error) {
+	if s.Samples <= 0 {
+		return nil, fmt.Errorf("%w: samples must be positive, got %d", ErrBadSpec, s.Samples)
+	}
+	if len(s.Model) == 0 {
+		return nil, fmt.Errorf("%w: missing model document", ErrBadSpec)
+	}
+	var doc modelio.Spec
+	if err := json.Unmarshal(s.Model, &doc); err != nil {
+		return nil, fmt.Errorf("%w: model document: %v", ErrBadSpec, err)
+	}
+	if doc.Type != "ctmc" || doc.CTMC == nil {
+		return nil, fmt.Errorf("%w: sweeps support ctmc models only, got type %q", ErrBadSpec, doc.Type)
+	}
+	switch s.Measure {
+	case "availability", "mtta":
+	default:
+		return nil, fmt.Errorf("%w: measure %q is not a scalar ctmc sweep measure (want availability or mtta)", ErrBadSpec, s.Measure)
+	}
+	if len(s.Params) == 0 {
+		return nil, fmt.Errorf("%w: no uncertain parameters", ErrBadSpec)
+	}
+	for _, p := range s.Quantiles {
+		if !(p > 0 && p < 1) {
+			return nil, fmt.Errorf("%w: quantile %g outside (0,1)", ErrBadSpec, p)
+		}
+	}
+	sw := &sweep{spec: s, doc: &doc}
+	seen := make(map[string]bool, len(s.Params))
+	for i, ps := range s.Params {
+		if ps.Name == "" {
+			return nil, fmt.Errorf("%w: parameter %d has no name", ErrBadSpec, i)
+		}
+		if seen[ps.Name] {
+			return nil, fmt.Errorf("%w: duplicate parameter %q", ErrBadSpec, ps.Name)
+		}
+		seen[ps.Name] = true
+		d, err := ps.Dist.Distribution()
+		if err != nil {
+			return nil, fmt.Errorf("%w: parameter %q: %v", ErrBadSpec, ps.Name, err)
+		}
+		t := paramTarget{name: ps.Name, scale: ps.Scale}
+		for j, tr := range doc.CTMC.Transitions {
+			if tr.From == ps.From && tr.To == ps.To {
+				t.idxs = append(t.idxs, j)
+			}
+		}
+		if len(t.idxs) == 0 {
+			return nil, fmt.Errorf("%w: parameter %q targets no transition %s->%s", ErrBadSpec, ps.Name, ps.From, ps.To)
+		}
+		sw.params = append(sw.params, uncertainty.Param{Name: ps.Name, Dist: d})
+		sw.targets = append(sw.targets, t)
+	}
+	return sw, nil
+}
+
+// plan returns the deterministic plan for shard i: every shard is
+// ShardSize samples except a shorter final remainder shard.
+func (sw *sweep) plan(i int) uncertainty.ShardPlan {
+	s := sw.spec
+	size := s.ShardSize
+	if last := s.Samples - i*s.ShardSize; last < size {
+		size = last
+	}
+	return uncertainty.ShardPlan{Index: i, Size: size, Seed: s.Seed, Quantiles: s.Quantiles}
+}
+
+// model builds the per-sample evaluator: rewrite the targeted transition
+// rates with the sampled assignment, solve the single requested measure,
+// return its value. The base document is never mutated — each evaluation
+// works on a fresh transition slice, so concurrent shards share the
+// compiled sweep safely.
+func (sw *sweep) model(ctx context.Context) uncertainty.Model {
+	base := sw.doc.CTMC
+	measure := sw.spec.Measure
+	return func(assign map[string]float64) (float64, error) {
+		clone := *base
+		clone.Transitions = append([]modelio.CTMCTransition(nil), base.Transitions...)
+		clone.Measures = []string{measure}
+		for _, t := range sw.targets {
+			x := assign[t.name]
+			for _, j := range t.idxs {
+				if t.scale {
+					clone.Transitions[j].Rate = base.Transitions[j].Rate * x
+				} else {
+					clone.Transitions[j].Rate = x
+				}
+				if !(clone.Transitions[j].Rate > 0) {
+					return 0, fmt.Errorf("jobs: parameter %q drew non-positive rate %g", t.name, clone.Transitions[j].Rate)
+				}
+			}
+		}
+		results, err := modelio.SolveWithOptions(
+			&modelio.Spec{Type: "ctmc", Name: sw.doc.Name, CTMC: &clone},
+			modelio.SolveOptions{Context: ctx},
+		)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range results {
+			if r.Measure == measure {
+				return r.Value, nil
+			}
+		}
+		return 0, fmt.Errorf("jobs: solver returned no %q result", measure)
+	}
+}

@@ -1,0 +1,194 @@
+package jobs
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/uncertainty"
+)
+
+// walSuffix names per-job log files inside the engine directory.
+const walSuffix = ".wal.jsonl"
+
+// walRecord is one JSONL line of a job's write-ahead log. Three record
+// types share the struct, discriminated by T:
+//
+//	"spec"  — first line: job ID, idempotency key, normalized spec;
+//	"shard" — one completed shard: its full checkpointable state plus
+//	          the updated completed-shard bitmap (hex, LSB-first) and
+//	          running done-count, so every line is a self-describing
+//	          checkpoint of overall progress;
+//	"end"   — terminal line: final state, folded result or error.
+//
+// Records are appended with O_APPEND and fsynced one at a time; replay
+// tolerates a truncated final line (the crash window of an in-flight
+// append) but rejects corruption anywhere earlier.
+type walRecord struct {
+	T string `json:"t"`
+
+	// "spec" fields.
+	ID   string `json:"id,omitempty"`
+	Key  string `json:"key,omitempty"`
+	Spec *Spec  `json:"spec,omitempty"`
+
+	// "shard" fields.
+	Shard  *uncertainty.ShardState `json:"shard,omitempty"`
+	Bitmap string                  `json:"bitmap,omitempty"`
+	Done   int                     `json:"done,omitempty"`
+
+	// "end" fields.
+	State  State                    `json:"state,omitempty"`
+	Error  string                   `json:"error,omitempty"`
+	Result *uncertainty.SweepResult `json:"result,omitempty"`
+}
+
+// wal is an append-only JSONL writer for one job.
+type wal struct {
+	f *os.File
+}
+
+// walPath returns the log path for a job ID.
+func walPath(dir, id string) string {
+	return filepath.Join(dir, id+walSuffix)
+}
+
+// openWAL opens (creating if needed) a job's log for appending.
+func openWAL(dir, id string) (*wal, error) {
+	f, err := os.OpenFile(walPath(dir, id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open wal: %w", err)
+	}
+	return &wal{f: f}, nil
+}
+
+// append durably writes one record: marshal, single write, fsync.
+func (w *wal) append(rec *walRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: marshal wal record: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("jobs: append wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: sync wal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the file handle.
+func (w *wal) Close() error { return w.f.Close() }
+
+// bitmapHex renders the completed-shard set as an LSB-first hex bitmap.
+func bitmapHex(done map[int]*uncertainty.ShardState, shards int) string {
+	buf := make([]byte, (shards+7)/8)
+	for i := range done {
+		if i >= 0 && i < shards {
+			buf[i/8] |= 1 << (i % 8)
+		}
+	}
+	return hex.EncodeToString(buf)
+}
+
+// walJob is the replayed content of one job log.
+type walJob struct {
+	id, key string
+	spec    *Spec
+	shards  map[int]*uncertainty.ShardState
+	state   State // "" when the log has no terminal record
+	errMsg  string
+	result  *uncertainty.SweepResult
+}
+
+// replayWAL reads one job log back. A truncated or malformed final line
+// is discarded (it is the record that was mid-append when the process
+// died); malformed earlier lines are corruption and fail the replay.
+// Every shard record is structurally validated before it is trusted.
+func replayWAL(path string) (*walJob, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read wal: %w", err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	// Trailing element after the final newline is empty; drop it so the
+	// "last line" truncation check sees the real last record.
+	for len(lines) > 0 && strings.TrimSpace(lines[len(lines)-1]) == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("jobs: wal %s is empty", filepath.Base(path))
+	}
+	j := &walJob{shards: make(map[int]*uncertainty.ShardState)}
+	for i, line := range lines {
+		var rec walRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail from a crash mid-append
+			}
+			return nil, fmt.Errorf("jobs: wal %s line %d corrupt: %w", filepath.Base(path), i+1, err)
+		}
+		switch rec.T {
+		case "spec":
+			if i != 0 {
+				return nil, fmt.Errorf("jobs: wal %s line %d: unexpected spec record", filepath.Base(path), i+1)
+			}
+			if rec.ID == "" || rec.Spec == nil {
+				return nil, fmt.Errorf("jobs: wal %s: incomplete spec record", filepath.Base(path))
+			}
+			rec.Spec.normalize()
+			if _, err := compile(rec.Spec); err != nil {
+				return nil, fmt.Errorf("jobs: wal %s: %w", filepath.Base(path), err)
+			}
+			j.id, j.key, j.spec = rec.ID, rec.Key, rec.Spec
+		case "shard":
+			if j.spec == nil {
+				return nil, fmt.Errorf("jobs: wal %s line %d: shard before spec", filepath.Base(path), i+1)
+			}
+			sh := rec.Shard
+			if sh == nil {
+				return nil, fmt.Errorf("jobs: wal %s line %d: empty shard record", filepath.Base(path), i+1)
+			}
+			if err := sh.Validate(); err != nil {
+				return nil, fmt.Errorf("jobs: wal %s line %d: %w", filepath.Base(path), i+1, err)
+			}
+			if sh.Index >= j.spec.shardCount() {
+				return nil, fmt.Errorf("jobs: wal %s line %d: shard index %d out of range", filepath.Base(path), i+1, sh.Index)
+			}
+			j.shards[sh.Index] = sh
+		case "end":
+			if j.spec == nil {
+				return nil, fmt.Errorf("jobs: wal %s line %d: end before spec", filepath.Base(path), i+1)
+			}
+			j.state, j.errMsg, j.result = rec.State, rec.Error, rec.Result
+		default:
+			return nil, fmt.Errorf("jobs: wal %s line %d: unknown record type %q", filepath.Base(path), i+1, rec.T)
+		}
+	}
+	if j.spec == nil {
+		return nil, fmt.Errorf("jobs: wal %s has no spec record", filepath.Base(path))
+	}
+	return j, nil
+}
+
+// scanWALs lists the job logs in a directory, sorted by filename so
+// recovery order is deterministic.
+func scanWALs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scan %s: %w", dir, err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), walSuffix) {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,143 @@
+package jobs
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/uncertainty"
+)
+
+func walLines(t *testing.T, path string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+}
+
+func writeWAL(t *testing.T, dir, id string, lines ...string) string {
+	t.Helper()
+	path := walPath(dir, id)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func specLine(t *testing.T, id string) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := openWAL(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(&walRecord{T: "spec", ID: id, Spec: testSpec(60, 20, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	return walLines(t, walPath(dir, id))[0]
+}
+
+func shardLine(t *testing.T) string {
+	t.Helper()
+	spec := testSpec(60, 20, 1)
+	spec.normalize()
+	sw, err := compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := uncertainty.RunShard(context.Background(), sw.model(context.Background()), sw.params, sw.plan(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := openWAL(dir, "jx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(&walRecord{T: "shard", Shard: st, Bitmap: "01", Done: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	return walLines(t, walPath(dir, "jx"))[0]
+}
+
+// TestReplayToleratesTornTail pins the crash window: a record cut short
+// mid-append is discarded, everything before it is trusted.
+func TestReplayToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	spec := specLine(t, "j1")
+	shard := shardLine(t)
+	path := writeWAL(t, dir, "j1", spec, shard, shard[:len(shard)/2])
+	j, err := replayWAL(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if j.id != "j1" || len(j.shards) != 1 {
+		t.Fatalf("replayed id=%s shards=%d, want j1 with 1 shard", j.id, len(j.shards))
+	}
+	if j.state.terminal() {
+		t.Fatal("incomplete log replayed as terminal")
+	}
+}
+
+// TestReplayRejectsMidLogCorruption: a damaged line that is NOT the tail
+// is corruption, not a crash artifact.
+func TestReplayRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	spec := specLine(t, "j1")
+	shard := shardLine(t)
+	path := writeWAL(t, dir, "j1", spec, "{garbage", shard)
+	if _, err := replayWAL(path); err == nil {
+		t.Fatal("mid-log corruption accepted")
+	}
+}
+
+func TestReplayRejectsStructuralDamage(t *testing.T) {
+	dir := t.TempDir()
+	spec := specLine(t, "j1")
+	shard := shardLine(t)
+	cases := map[string][]string{
+		"no spec":          {shard, shard},
+		"empty file":       {""},
+		"unknown type":     {spec, `{"t":"mystery"}`, shard},
+		"shard first":      {shard, spec},
+		"corrupt estimate": {spec, strings.Replace(shard, `"count":`, `"count":-`, 1)},
+	}
+	for name, lines := range cases {
+		path := writeWAL(t, dir, "j1", lines...)
+		if _, err := replayWAL(path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBitmapHex(t *testing.T) {
+	done := map[int]*uncertainty.ShardState{0: {}, 3: {}, 8: {}}
+	if got := bitmapHex(done, 10); got != "0901" {
+		t.Fatalf("bitmap %q, want 0901", got)
+	}
+	if got := bitmapHex(nil, 4); got != "00" {
+		t.Fatalf("empty bitmap %q, want 00", got)
+	}
+}
+
+func TestScanWALsOrder(t *testing.T) {
+	dir := t.TempDir()
+	writeWAL(t, dir, "j2", "{}")
+	writeWAL(t, dir, "j10", "{}")
+	writeWAL(t, dir, "j1", "{}")
+	if err := os.WriteFile(walPath(dir, "ignore")+".bak", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := scanWALs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("scanned %d logs, want 3", len(paths))
+	}
+}

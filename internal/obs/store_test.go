@@ -156,3 +156,80 @@ func TestTraceStoreConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceStoreEvictionIDsExact pins the ID contract under contention:
+// with a tiny store being evicted constantly by racing writers (readers
+// racing Get/List against them), every Put still gets a unique ID, the
+// issued IDs are exactly t1..tN with none skipped, and what remains
+// retained is the contiguous newest window.
+func TestTraceStoreEvictionIDsExact(t *testing.T) {
+	s := NewTraceStore(8)
+	const writers, perWriter, readerIters = 8, 100, 400
+	ids := make(chan string, writers*perWriter)
+
+	var readWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			// A bounded spin (not until-done) keeps the race-detector run
+			// fast while still overlapping the whole eviction churn.
+			for n := 0; n < readerIters; n++ {
+				// t1 is evicted almost immediately; Get must simply miss,
+				// and List must stay internally consistent mid-eviction.
+				s.Get("t1")
+				for i, rec := range s.List(TraceFilter{}) {
+					if i > 0 && rec.ID == "" {
+						t.Error("List returned a record with no ID")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				ids <- s.Put(TraceRecord{Model: fmt.Sprintf("w%d", w)})
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(ids)
+	readWG.Wait()
+
+	seen := make(map[string]bool, writers*perWriter)
+	for id := range ids {
+		if id == "" {
+			t.Fatal("Put returned an empty ID with no failpoint armed")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %s issued", id)
+		}
+		seen[id] = true
+	}
+	total := writers * perWriter
+	for n := 1; n <= total; n++ {
+		if !seen[fmt.Sprintf("t%d", n)] {
+			t.Fatalf("sequence skipped: t%d never issued", n)
+		}
+	}
+
+	// The survivors are the contiguous newest window, newest first.
+	list := s.List(TraceFilter{})
+	if len(list) != 8 {
+		t.Fatalf("retained %d records, want the full capacity 8", len(list))
+	}
+	if list[0].Seq != uint64(total) {
+		t.Errorf("newest retained seq %d, want %d", list[0].Seq, total)
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Seq != list[i-1].Seq-1 {
+			t.Errorf("retained window not contiguous at %d: seq %d then %d", i, list[i-1].Seq, list[i].Seq)
+		}
+	}
+}

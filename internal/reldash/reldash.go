@@ -77,7 +77,29 @@ type Config struct {
 	// queue occupancy, breaker states, shed/degraded counts, draining —
 	// for /api/summary and the index page (nil hides the section).
 	Resilience func() Resilience
+	// Jobs snapshots the async sweep jobs for /api/jobs and the index
+	// Jobs panel (nil hides both).
+	Jobs func() []JobRow
 }
+
+// JobRow is one async sweep job as the dashboard renders it — a
+// flattened view of the job engine's snapshot, defined here so reldash
+// does not import the engine.
+type JobRow struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	Samples    int     `json:"samples"`
+	Shards     int     `json:"shards"`
+	DoneShards int     `json:"done_shards"`
+	Progress   float64 `json:"progress"`
+	Retries    int64   `json:"retries,omitempty"`
+	Resumed    bool    `json:"resumed,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Pct renders the progress fraction as a whole percentage for the
+// progress bars on the index page.
+func (j JobRow) Pct() int { return int(j.Progress*100 + 0.5) }
 
 // Resilience is the serve-layer protection snapshot the dashboard
 // renders: is the process draining, how full is the admission queue,
@@ -133,6 +155,7 @@ func (h *Handler) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/metrics", h.handleMetrics)
 	mux.HandleFunc("GET /api/bench", h.handleBench)
 	mux.HandleFunc("GET /api/summary", h.handleSummary)
+	mux.HandleFunc("GET /api/jobs", h.handleJobs)
 }
 
 // setHeaders stamps the explicit content type and the no-store cache
@@ -288,6 +311,25 @@ func (h *Handler) handleSummary(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, p)
 }
 
+// jobsPayload is the GET /api/jobs reply document.
+type jobsPayload struct {
+	// Enabled is false when the serve process exposes no job engine
+	// feed; Jobs is then always empty.
+	Enabled bool     `json:"enabled"`
+	Jobs    []JobRow `json:"jobs"`
+}
+
+func (h *Handler) handleJobs(w http.ResponseWriter, r *http.Request) {
+	p := jobsPayload{Jobs: []JobRow{}}
+	if h.cfg.Jobs != nil {
+		p.Enabled = true
+		if rows := h.cfg.Jobs(); rows != nil {
+			p.Jobs = rows
+		}
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
 // --- HTML pages ---
 
 // indexData feeds templates/index.gohtml.
@@ -302,6 +344,9 @@ type indexData struct {
 	Bench              []bench.TrendPoint
 	BenchErr           string
 	Resilience         *Resilience
+	// JobsOn gates the Jobs panel; Jobs are the rows inside it.
+	JobsOn bool
+	Jobs   []JobRow
 }
 
 // solverRow is one {solver, model} wall-time histogram series condensed
@@ -342,6 +387,10 @@ func (h *Handler) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if h.cfg.Resilience != nil {
 		res := h.cfg.Resilience()
 		data.Resilience = &res
+	}
+	if h.cfg.Jobs != nil {
+		data.JobsOn = true
+		data.Jobs = h.cfg.Jobs()
 	}
 	if h.cfg.BenchPath != "" {
 		if trend, err := bench.LoadTrend(h.cfg.BenchPath); err != nil {

@@ -95,6 +95,7 @@ func TestHandlerHeaders(t *testing.T) {
 		"/api/metrics":   "application/json; charset=utf-8",
 		"/api/bench":     "application/json; charset=utf-8",
 		"/api/summary":   "application/json; charset=utf-8",
+		"/api/jobs":      "application/json; charset=utf-8",
 	} {
 		w := get(t, h, path)
 		if w.Code != http.StatusOK {
@@ -105,6 +106,42 @@ func TestHandlerHeaders(t *testing.T) {
 		}
 		if got := w.Header().Get("Cache-Control"); got != "no-store" {
 			t.Errorf("GET %s: Cache-Control %q, want no-store", path, got)
+		}
+	}
+}
+
+// TestHandlerJobs pins /api/jobs and the index Jobs panel: without a
+// feed the API reports disabled and the panel is absent; with one, the
+// rows flow through to both.
+func TestHandlerJobs(t *testing.T) {
+	h, _ := newTestHandler(t, "")
+	var payload jobsPayload
+	if err := json.Unmarshal(get(t, h, "/api/jobs").Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Enabled || len(payload.Jobs) != 0 {
+		t.Fatalf("feedless /api/jobs = %+v, want disabled and empty", payload)
+	}
+	if body := get(t, h, "/ui").Body.String(); strings.Contains(body, "Sweep jobs") {
+		t.Error("index renders the Jobs panel without a feed")
+	}
+
+	store := obs.NewTraceStore(8)
+	rows := []JobRow{{ID: "j1", State: "running", Samples: 1000, Shards: 10, DoneShards: 4, Progress: 0.4, Resumed: true}}
+	h2, err := NewHandler(Config{Store: store, Registry: metrics.NewRegistry(), Jobs: func() []JobRow { return rows }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(get(t, h2, "/api/jobs").Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if !payload.Enabled || len(payload.Jobs) != 1 || payload.Jobs[0].ID != "j1" {
+		t.Fatalf("/api/jobs = %+v, want the one fed row", payload)
+	}
+	body := get(t, h2, "/ui").Body.String()
+	for _, want := range []string{"Sweep jobs", "j1", "4/10 (40%)", "running"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index Jobs panel missing %q", want)
 		}
 	}
 }

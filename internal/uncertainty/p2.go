@@ -1,0 +1,179 @@
+package uncertainty
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2 is the Jain–Chlamtac P² streaming quantile estimator: five markers
+// tracking the running p-quantile of a sample stream in O(1) memory and
+// O(1) time per observation, with parabolic (falling back to linear)
+// marker adjustment. It is the estimator behind million-sample
+// uncertainty sweeps: no sample retention, yet percentile intervals at
+// the end.
+//
+// The estimator is strictly deterministic — its state after n
+// observations is a pure function of the observation sequence — and its
+// entire state is exported, so a checkpointed estimator resumes
+// bit-identically after a crash. JSON round-trips are exact: Go
+// marshals float64 values in shortest-round-trip form.
+type P2 struct {
+	// P is the target quantile in (0,1).
+	P float64 `json:"p"`
+	// Count is the number of observations so far.
+	Count int64 `json:"count"`
+	// Heights are the five marker heights (q0..q4); only the first
+	// min(Count,5) entries are meaningful before the estimator is primed.
+	Heights [5]float64 `json:"heights"`
+	// Positions are the five integer marker positions (1-based).
+	Positions [5]float64 `json:"positions"`
+	// Desired are the five desired (fractional) marker positions.
+	Desired [5]float64 `json:"desired"`
+}
+
+// NewP2 builds an estimator for the p-quantile. The quantile must lie
+// strictly inside (0,1); use min/max tracking for the extremes.
+func NewP2(p float64) (*P2, error) {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("uncertainty: P2 quantile %g outside (0,1): %w", p, ErrBadPercentile)
+	}
+	return &P2{P: p}, nil
+}
+
+// Observe feeds one observation into the estimator.
+func (e *P2) Observe(x float64) {
+	if e.Count < 5 {
+		// Priming phase: collect the first five observations sorted.
+		i := int(e.Count)
+		e.Heights[i] = x
+		e.Count++
+		sub := e.Heights[:e.Count]
+		sort.Float64s(sub)
+		if e.Count == 5 {
+			p := e.P
+			e.Positions = [5]float64{1, 2, 3, 4, 5}
+			e.Desired = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+		}
+		return
+	}
+	e.Count++
+	// Locate the cell containing x, extending the extremes when needed.
+	var k int
+	switch {
+	case x < e.Heights[0]:
+		e.Heights[0] = x
+		k = 0
+	case x >= e.Heights[4]:
+		e.Heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.Heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.Positions[i]++
+	}
+	// Desired positions advance by their quantile increments.
+	incr := [5]float64{0, e.P / 2, e.P, (1 + e.P) / 2, 1}
+	for i := 0; i < 5; i++ {
+		e.Desired[i] += incr[i]
+	}
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.Desired[i] - e.Positions[i]
+		if (d >= 1 && e.Positions[i+1]-e.Positions[i] > 1) ||
+			(d <= -1 && e.Positions[i-1]-e.Positions[i] < -1) {
+			s := sign(d)
+			h := e.parabolic(i, s)
+			if e.Heights[i-1] < h && h < e.Heights[i+1] {
+				e.Heights[i] = h
+			} else {
+				e.Heights[i] = e.linear(i, s)
+			}
+			e.Positions[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (e *P2) parabolic(i int, s float64) float64 {
+	n := e.Positions
+	q := e.Heights
+	return q[i] + s/(n[i+1]-n[i-1])*
+		((n[i]-n[i-1]+s)*(q[i+1]-q[i])/(n[i+1]-n[i])+
+			(n[i+1]-n[i]-s)*(q[i]-q[i-1])/(n[i]-n[i-1]))
+}
+
+// linear is the fallback marker update when the parabola overshoots.
+func (e *P2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.Heights[i] + s*(e.Heights[j]-e.Heights[i])/(e.Positions[j]-e.Positions[i])
+}
+
+func sign(d float64) float64 {
+	if d >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Value returns the current quantile estimate. Before the estimator is
+// primed (fewer than five observations) it interpolates the sorted
+// retained samples exactly; with no observations it returns
+// ErrNoSamples.
+func (e *P2) Value() (float64, error) {
+	switch {
+	case e.Count == 0:
+		return 0, fmt.Errorf("uncertainty: P2 estimator is empty: %w", ErrNoSamples)
+	case e.Count < 5:
+		sub := append([]float64(nil), e.Heights[:e.Count]...)
+		return interpolateSorted(sub, e.P), nil
+	}
+	return e.Heights[2], nil
+}
+
+// interpolateSorted returns the p-quantile (p in (0,1)) of an ascending
+// sample slice by the same linear interpolation Result.Percentile uses.
+func interpolateSorted(sorted []float64, p float64) float64 {
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// errBadP2State guards Observe against a corrupted checkpoint restore.
+var errBadP2State = errors.New("uncertainty: P2 state invalid")
+
+// Validate checks a restored estimator for structural sanity: quantile
+// in range, non-negative count, monotone marker heights and positions
+// once primed. A WAL written by a different build (or truncated
+// mid-record) fails here instead of corrupting a resumed sweep.
+func (e *P2) Validate() error {
+	if math.IsNaN(e.P) || e.P <= 0 || e.P >= 1 {
+		return fmt.Errorf("%w: quantile %g outside (0,1)", errBadP2State, e.P)
+	}
+	if e.Count < 0 {
+		return fmt.Errorf("%w: negative count %d", errBadP2State, e.Count)
+	}
+	if e.Count < 5 {
+		return nil
+	}
+	for i := 0; i < 4; i++ {
+		if e.Heights[i] > e.Heights[i+1] {
+			return fmt.Errorf("%w: marker heights not monotone", errBadP2State)
+		}
+		if e.Positions[i] >= e.Positions[i+1] {
+			return fmt.Errorf("%w: marker positions not increasing", errBadP2State)
+		}
+	}
+	return nil
+}

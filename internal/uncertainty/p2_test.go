@@ -1,0 +1,120 @@
+package uncertainty
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestP2AgainstExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{0.05, 0.5, 0.95} {
+		est, err := NewP2(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 20000
+		samples := make([]float64, n)
+		for i := range samples {
+			x := rng.NormFloat64()*2 + 10
+			samples[i] = x
+			est.Observe(x)
+		}
+		sort.Float64s(samples)
+		exact := interpolateSorted(samples, p)
+		got, err := est.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-exact) > 0.05 {
+			t.Errorf("p=%g: P2 %.4f vs exact %.4f", p, got, exact)
+		}
+	}
+}
+
+func TestP2SmallSampleExact(t *testing.T) {
+	est, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Value(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("empty estimator: got %v, want ErrNoSamples", err)
+	}
+	for _, x := range []float64{3, 1, 2} {
+		est.Observe(x)
+	}
+	got, err := est.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("median of {1,2,3} = %g, want 2", got)
+	}
+}
+
+func TestP2BadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewP2(p); !errors.Is(err, ErrBadPercentile) {
+			t.Errorf("NewP2(%g): got %v, want ErrBadPercentile", p, err)
+		}
+	}
+}
+
+// TestP2CheckpointRoundTrip locks the durability contract: an estimator
+// serialized mid-stream and restored must continue bit-identically with
+// one that never stopped.
+func TestP2CheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	live, err := NewP2(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	for _, x := range xs[:2500] {
+		live.Observe(x)
+	}
+	blob, err := json.Marshal(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored P2
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[2500:] {
+		live.Observe(x)
+		restored.Observe(x)
+	}
+	a, _ := live.Value()
+	b, _ := restored.Value()
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("restored estimator diverged: %v vs %v", a, b)
+	}
+}
+
+func TestP2ValidateRejectsCorruptState(t *testing.T) {
+	est, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		est.Observe(float64(i))
+	}
+	est.Heights[1], est.Heights[3] = est.Heights[3], est.Heights[1]
+	if err := est.Validate(); err == nil {
+		t.Fatal("swapped marker heights passed Validate")
+	}
+	bad := &P2{P: 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range quantile passed Validate")
+	}
+}

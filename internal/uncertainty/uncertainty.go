@@ -33,6 +33,18 @@ type Param struct {
 // availability or MTTF).
 type Model func(params map[string]float64) (float64, error)
 
+// Typed sentinels for the summary accessors, matched with errors.Is.
+var (
+	// ErrNoSamples reports a percentile/interval query against a result
+	// (or estimator) holding no samples.
+	ErrNoSamples = errors.New("uncertainty: no samples")
+	// ErrBadPercentile reports a quantile outside the open interval the
+	// accessor supports: Percentile wants (0,100), Interval and the P²
+	// estimators want (0,1). The boundary values are excluded on purpose —
+	// p=0/p=1 are the sample extremes, not interpolatable percentiles.
+	ErrBadPercentile = errors.New("uncertainty: percentile out of range")
+)
+
 // Result summarizes the propagated output distribution.
 type Result struct {
 	// N is the number of successful model evaluations.
@@ -46,11 +58,11 @@ type Result struct {
 // Percentile returns the p-th percentile (0 < p < 100) of the output by
 // linear interpolation of the sorted samples.
 func (r *Result) Percentile(p float64) (float64, error) {
-	if len(r.Samples) == 0 {
-		return 0, errors.New("uncertainty: no samples")
+	if r == nil || len(r.Samples) == 0 {
+		return 0, ErrNoSamples
 	}
-	if p <= 0 || p >= 100 {
-		return 0, fmt.Errorf("uncertainty: percentile %g outside (0,100)", p)
+	if math.IsNaN(p) || p <= 0 || p >= 100 {
+		return 0, fmt.Errorf("percentile %g outside (0,100): %w", p, ErrBadPercentile)
 	}
 	pos := p / 100 * float64(len(r.Samples)-1)
 	lo := int(math.Floor(pos))
@@ -65,8 +77,8 @@ func (r *Result) Percentile(p float64) (float64, error) {
 // Interval returns the central interval covering the given probability mass
 // (e.g. 0.9 → [5th, 95th] percentiles).
 func (r *Result) Interval(level float64) (lo, hi float64, err error) {
-	if level <= 0 || level >= 1 {
-		return 0, 0, fmt.Errorf("uncertainty: level %g outside (0,1)", level)
+	if math.IsNaN(level) || level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("interval level %g outside (0,1): %w", level, ErrBadPercentile)
 	}
 	tail := (1 - level) / 2 * 100
 	lo, err = r.Percentile(tail)

@@ -95,6 +95,11 @@ fi
 if [[ "${CHECK_CHAOS:-0}" == "1" ]]; then
     echo "== chaos smoke"
     go run -race ./cmd/relcli chaos -requests 200 -swarm 8 -seed 42
+    # Durability drill: kill a checkpointing serve process mid-sweep,
+    # resume from the write-ahead log on a fresh one, and demand the
+    # folded quantiles come out bit-identical to an uninterrupted run.
+    echo "== chaos kill-resume"
+    go run -race ./cmd/relcli chaos -kill-resume -seed 42
 fi
 
 echo "all checks passed"
