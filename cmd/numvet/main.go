@@ -21,6 +21,10 @@
 //   - defer-in-loop: a defer directly inside a loop body; the deferred
 //     calls pile up until the function returns, which in a solver's hot
 //     loop means unbounded memory and late cleanup.
+//   - slog-corr: a log/slog call inside an HTTP handler (any function —
+//     or enclosing function — taking *http.Request) in a main package
+//     without a "corr" field. Serve-path logs must carry the request's
+//     correlation ID so every line joins to its trace and wide event.
 //
 // A finding can be acknowledged with a same-line comment:
 //

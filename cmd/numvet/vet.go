@@ -22,6 +22,7 @@ const (
 	ruleDeferInLoop    = "defer-in-loop"
 	ruleStrayRecover   = "stray-recover"
 	ruleNondet         = "nondeterminism"
+	ruleSlogCorr       = "slog-corr"
 )
 
 // shardExecPkgs are the packages whose results must be pure functions of
@@ -61,6 +62,9 @@ func vetPackage(fset *token.FileSet, files []*ast.File, info *types.Info, modPat
 				continue
 			}
 			v.funcName = fn.Name.Name
+			v.declIsHandler = v.hasRequestParam(fn.Type)
+			v.stack = v.stack[:0]
+			v.litHandlers = v.litHandlers[:0]
 			ast.Inspect(fn.Body, v.inspect)
 		}
 		findings = append(findings, v.findings...)
@@ -110,6 +114,29 @@ type visitor struct {
 	funcName string
 	allowed  map[int]map[string]bool
 	findings []Finding
+	// declIsHandler marks the current FuncDecl as an HTTP handler (has a
+	// *http.Request parameter); stack mirrors ast.Inspect's traversal so
+	// litHandlers — one entry per enclosing FuncLit — pops at the right
+	// time. A slog call is "in a serve path" when the decl or ANY
+	// enclosing literal is a handler.
+	declIsHandler bool
+	stack         []ast.Node
+	litHandlers   []bool
+}
+
+// inHandler reports whether the visitor is currently inside an HTTP
+// handler (the declaration itself or any enclosing function literal
+// taking *http.Request).
+func (v *visitor) inHandler() bool {
+	if v.declIsHandler {
+		return true
+	}
+	for _, h := range v.litHandlers {
+		if h {
+			return true
+		}
+	}
+	return false
 }
 
 // report records a finding unless a same-line allow comment covers it.
@@ -122,6 +149,18 @@ func (v *visitor) report(pos token.Pos, rule, format string, args ...any) {
 }
 
 func (v *visitor) inspect(n ast.Node) bool {
+	if n == nil {
+		top := v.stack[len(v.stack)-1]
+		v.stack = v.stack[:len(v.stack)-1]
+		if _, ok := top.(*ast.FuncLit); ok {
+			v.litHandlers = v.litHandlers[:len(v.litHandlers)-1]
+		}
+		return true
+	}
+	v.stack = append(v.stack, n)
+	if lit, ok := n.(*ast.FuncLit); ok {
+		v.litHandlers = append(v.litHandlers, v.hasRequestParam(lit.Type))
+	}
 	switch n := n.(type) {
 	case *ast.BinaryExpr:
 		if n.Op == token.EQL || n.Op == token.NEQ {
@@ -174,6 +213,16 @@ func (v *visitor) inspect(n ast.Node) bool {
 		if v.pkgName != "main" && v.isTimeSleep(n) {
 			v.report(n.Pos(), ruleTimeSleep,
 				"time.Sleep in library function %s; use time.NewTimer with select so waits stay cancellable", v.funcName)
+		}
+		// Serve-path logging must carry the request's correlation ID so
+		// every log line joins to its trace and wide event. The rule
+		// fires only in main packages (the serve layer), only inside HTTP
+		// handlers, and only on calls that resolve to log/slog.
+		if v.pkgName == "main" && v.inHandler() {
+			if name, ok := v.slogCall(n); ok && !hasCorrKey(n) {
+				v.report(n.Pos(), ruleSlogCorr,
+					"slog.%s in HTTP handler %s without a \"corr\" field; thread the correlation ID through (or justify with an allow comment)", name, v.funcName)
+			}
 		}
 		if shardExecPkgs[v.pkgName] {
 			if v.isTimeNow(n) {
@@ -317,6 +366,74 @@ func (v *visitor) globalRandCall(call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return fn.Name(), true
+}
+
+// hasRequestParam reports whether the function type takes *http.Request
+// — the marker numvet uses for "this is an HTTP handler".
+func (v *visitor) hasRequestParam(ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		ptr, ok := v.info.TypeOf(field.Type).(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "net/http" && obj.Name() == "Request" {
+			return true
+		}
+	}
+	return false
+}
+
+// slogCall reports whether the call resolves to a log/slog logging
+// function or *slog.Logger method (Info, Warn, Error, Debug, their
+// *Context variants, Log, LogAttrs).
+func (v *visitor) slogCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Debug", "Info", "Warn", "Error",
+		"DebugContext", "InfoContext", "WarnContext", "ErrorContext",
+		"Log", "LogAttrs":
+	default:
+		return "", false
+	}
+	obj := v.info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "log/slog" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// hasCorrKey reports whether the string literal "corr" — the attr key
+// the serve layer threads correlation IDs under — appears anywhere in
+// the call's arguments, including nested attr constructors like
+// slog.String("corr", id).
+func hasCorrKey(call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			lit, ok := n.(*ast.BasicLit)
+			if ok && lit.Kind == token.STRING && lit.Value == `"corr"` {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
 }
 
 // isFloat reports whether the expression has a floating-point type.

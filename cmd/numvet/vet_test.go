@@ -569,3 +569,105 @@ func Draw() float64 { return rand.Float64() }
 		}
 	}
 }
+
+func TestSlogCorrRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"cmd/srv/main.go": `package main
+
+import (
+	"log/slog"
+	"net/http"
+)
+
+func main() {}
+
+// handler logs without corr: flagged.
+func handler(w http.ResponseWriter, r *http.Request) {
+	slog.Info("request started")
+	slog.Warn("odd input", "remote", r.RemoteAddr)
+}
+
+// correlated threads the ID through: clean.
+func correlated(w http.ResponseWriter, r *http.Request) {
+	corr := r.Header.Get("X-Rel-Correlation-Id")
+	slog.Info("request started", "corr", corr)
+	slog.LogAttrs(r.Context(), slog.LevelWarn, "odd", slog.String("corr", corr))
+}
+
+// closureInHandler: a literal inside a handler inherits the handler
+// context (any-enclosing semantics) even without its own request param.
+func closureInHandler(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		slog.Error("panic isolated")
+	}()
+}
+
+// notAHandler has no *http.Request anywhere: the rule stays quiet.
+func notAHandler() {
+	slog.Info("background loop tick")
+}
+
+// allowed acknowledges the finding in place.
+func allowed(w http.ResponseWriter, r *http.Request) {
+	slog.Info("health probe") //numvet:allow slog-corr probes are uncorrelated
+}
+
+// methodValue: a *slog.Logger method without corr is flagged too.
+func methodValue(l *slog.Logger, w http.ResponseWriter, r *http.Request) {
+	l.Error("solve failed")
+}
+`,
+		"lib/lib.go": `package lib
+
+import "log/slog"
+
+// Library packages are exempt: the rule targets the serve layer.
+func Handlerish(h func(int), n int) {
+	slog.Info("library log, no corr needed")
+}
+`,
+	})
+	fs := vetFixture(t, root, "./cmd/srv", "./lib")
+	if got := rules(fs)[ruleSlogCorr]; got != 4 {
+		t.Fatalf("want 4 slog-corr findings (2 in handler, 1 in closure, 1 method), got %d: %v", got, fs)
+	}
+	wantLines := map[int]bool{12: true, 13: true, 27: true, 43: true}
+	for _, f := range fs {
+		if f.Rule == ruleSlogCorr && !wantLines[f.Pos.Line] {
+			t.Errorf("slog-corr finding on unexpected line %d: %v", f.Pos.Line, f)
+		}
+	}
+}
+
+// TestSlogCorrLogAttrsSlogString: slog.LogAttrs carries the key inside a
+// slog.String("corr", ...) attr constructor — hasCorrKey sees only the
+// call's direct args, so the nested literal must still satisfy the rule
+// via the constructor's own argument position.
+func TestSlogCorrClosurePopsScope(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"cmd/srv/main.go": `package main
+
+import (
+	"log/slog"
+	"net/http"
+)
+
+func main() {}
+
+// After a handler-literal closes, logging outside it is clean again.
+func builder() {
+	_ = func(w http.ResponseWriter, r *http.Request) {
+		slog.Info("inside handler literal")
+	}
+	slog.Info("outside again: not a serve path")
+}
+`,
+	})
+	fs := vetFixture(t, root, "./cmd/srv")
+	if got := rules(fs)[ruleSlogCorr]; got != 1 {
+		t.Fatalf("want 1 slog-corr finding (inside the literal only), got %d: %v", got, fs)
+	}
+	if fs[0].Pos.Line != 13 {
+		t.Errorf("finding at line %d, want 13 (inside the handler literal)", fs[0].Pos.Line)
+	}
+}

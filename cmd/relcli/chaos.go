@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/failpoint"
 	"repro/internal/metrics"
+	"repro/internal/slo"
 )
 
 // Chaos drill model documents: a mix chosen to route traffic through
@@ -64,14 +65,26 @@ func chaosSchedule(seed uint64) string {
 
 // chaosReport is the run summary printed as JSON.
 type chaosReport struct {
-	Requests        int            `json:"requests"`
-	ByStatus        map[string]int `json:"by_status"`
-	Degraded        int            `json:"degraded"`
-	FailpointStats  map[string]int `json:"failpoint_trips,omitempty"`
-	BreakerCycleOK  bool           `json:"breaker_cycle_ok"`
-	GoroutinesStart int            `json:"goroutines_start"`
-	GoroutinesEnd   int            `json:"goroutines_end"`
-	Violations      []string       `json:"violations,omitempty"`
+	Requests       int            `json:"requests"`
+	ByStatus       map[string]int `json:"by_status"`
+	Degraded       int            `json:"degraded"`
+	FailpointStats map[string]int `json:"failpoint_trips,omitempty"`
+	BreakerCycleOK bool           `json:"breaker_cycle_ok"`
+	// SLO captures the error-budget cycle: burn while faults were
+	// injected, burn after a healthy recovery phase, and whether the
+	// recovery strictly reduced it.
+	SLO             chaosSLO `json:"slo"`
+	GoroutinesStart int      `json:"goroutines_start"`
+	GoroutinesEnd   int      `json:"goroutines_end"`
+	Violations      []string `json:"violations,omitempty"`
+}
+
+// chaosSLO is the SLO leg of the chaos report.
+type chaosSLO struct {
+	BurnAtPeak      float64 `json:"burn_at_peak"`
+	BudgetAtPeak    float64 `json:"budget_at_peak"`
+	BurnRecovered   float64 `json:"burn_recovered"`
+	RecoveryShrankB bool    `json:"recovery_shrank_burn"`
 }
 
 // allowedChaosStatus is the closed set of typed outcomes a request may
@@ -131,6 +144,9 @@ func runChaos(args []string, stdout io.Writer) error {
 		SolveTimeout: 5 * time.Second,
 		Failpoints:   sched,
 		UI:           false,
+		SLOObjectives: []slo.Objective{
+			{Name: "chaos-avail", Match: map[string]string{"route": "/solve"}, Target: 0.99},
+		},
 	})
 	if err != nil {
 		return err
@@ -167,6 +183,7 @@ func runChaos(args []string, stdout io.Writer) error {
 	}
 
 	rep.BreakerCycleOK = chaosBreakerCycle(client, ts.URL, violate)
+	rep.SLO = chaosSLOCycle(client, ts.URL, violate)
 
 	ts.Close()
 	// Goroutine-leak settle: the swarm, the server's connection
@@ -453,6 +470,80 @@ func chaosKillResume(seed uint64, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "chaos: kill at %d/%d shards, resume produced bit-identical quantiles\n", rep.DoneAtKill, rep.Shards)
 	return nil
+}
+
+// chaosSLOCycle asserts the error budget burned during the injected-
+// failure phases (the swarm and the breaker drill both fed 5xx into
+// the /solve objective) and that a healthy recovery phase strictly
+// reduces the burn rate — the SLO engine must both detect damage and
+// let go of it. Runs after chaosBreakerCycle so at least one 5xx burst
+// is guaranteed regardless of the probabilistic schedule.
+func chaosSLOCycle(client *http.Client, base string, violate func(string, ...any)) chaosSLO {
+	out := chaosSLO{}
+	readSLO := func(when string) (burn, budget float64, ok bool) {
+		resp, err := client.Get(base + "/api/slo")
+		if err != nil {
+			violate("slo cycle: /api/slo unreachable %s: %v", when, err)
+			return 0, 0, false
+		}
+		defer resp.Body.Close()
+		var payload struct {
+			Enabled    bool `json:"enabled"`
+			Objectives []struct {
+				Name            string  `json:"name"`
+				WorstBurn       float64 `json:"worst_burn"`
+				BudgetRemaining float64 `json:"budget_remaining"`
+			} `json:"objectives"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			violate("slo cycle: /api/slo reply is not JSON %s: %v", when, err)
+			return 0, 0, false
+		}
+		if !payload.Enabled || len(payload.Objectives) == 0 {
+			violate("slo cycle: engine not enabled %s", when)
+			return 0, 0, false
+		}
+		o := payload.Objectives[0]
+		return o.WorstBurn, o.BudgetRemaining, true
+	}
+
+	burn, budget, ok := readSLO("after fault phase")
+	if !ok {
+		return out
+	}
+	out.BurnAtPeak, out.BudgetAtPeak = burn, budget
+	if burn <= 0 {
+		violate("slo cycle: no burn after injected failures (burn=%g)", burn)
+		return out
+	}
+
+	// Recovery: healthy traffic dilutes the bad fraction in-window.
+	const healthyDoc = `{"type":"ctmc","name":"slo-recovery","ctmc":{
+		"transitions":[{"from":"u","to":"d","rate":1},{"from":"d","to":"u","rate":10}],
+		"upStates":["u"],"measures":["availability"]}}`
+	for i := 0; i < 100; i++ {
+		resp, err := client.Post(base+"/solve", "application/json", strings.NewReader(healthyDoc))
+		if err != nil {
+			violate("slo cycle: recovery request failed: %v", err)
+			return out
+		}
+		_, _ = io.Copy(io.Discard, resp.Body) //numvet:allow ignored-err drain before reuse; errors surface on the next request
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			violate("slo cycle: recovery request %d got status %d, want 200", i, resp.StatusCode)
+			return out
+		}
+	}
+	out.BurnRecovered, _, ok = readSLO("after recovery phase")
+	if !ok {
+		return out
+	}
+	out.RecoveryShrankB = out.BurnRecovered < out.BurnAtPeak
+	if !out.RecoveryShrankB {
+		violate("slo cycle: burn did not shrink under healthy traffic (%g -> %g)",
+			out.BurnAtPeak, out.BurnRecovered)
+	}
+	return out
 }
 
 // chaosHealthz asserts the health endpoint stays answerable under load.

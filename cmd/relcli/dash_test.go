@@ -24,6 +24,7 @@ func newDashMux(t *testing.T) *http.ServeMux {
 		UI:             true,
 		TraceStoreSize: 8,
 		BenchPath:      filepath.Join("..", "..", "BENCH_solvers.json"),
+		CorrSeed:       1, // pinned so corr IDs land in the goldens verbatim
 	})
 	for _, m := range []string{"repairfarm.json", "lumpable.json"} {
 		if w := postModel(t, mux, filepath.Join("..", "..", "models", m), ""); w.Code != http.StatusOK {

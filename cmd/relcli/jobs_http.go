@@ -39,6 +39,7 @@ func (s *solveServer) writeJob(w http.ResponseWriter, code int, resp jobResponse
 // can blindly re-post after a lost response.
 func (s *solveServer) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	corr := s.corrStamp(w, r)
 	code := http.StatusCreated
 	defer func() {
 		s.latency.Observe(time.Since(start).Seconds(), "/jobs")
@@ -68,6 +69,7 @@ func (s *solveServer) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeJob(w, code, jobResponse{Error: err.Error(), Code: "bad-spec"})
 		return
 	}
+	spec.Corr = corr
 	snap, created, err := s.jobs.Submit(spec, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		code, respCode := jobErrorStatus(err)
@@ -79,7 +81,7 @@ func (s *solveServer) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("job submitted",
-			"job", snap.ID, "created", created, "samples", snap.Samples,
+			"corr", corr, "job", snap.ID, "created", created, "samples", snap.Samples,
 			"shards", snap.Shards, "remote", r.RemoteAddr)
 	}
 	w.Header().Set("Location", "/jobs/"+snap.ID)
@@ -112,6 +114,7 @@ func (s *solveServer) handleJobList(w http.ResponseWriter, r *http.Request) {
 // its terminal snapshot. Canceling an already-terminal job is a 409 so
 // retried deletes are distinguishable from races.
 func (s *solveServer) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	corr := s.corrStamp(w, r)
 	snap, err := s.jobs.Cancel(r.PathValue("id"))
 	if err != nil {
 		code, respCode := jobErrorStatus(err)
@@ -119,7 +122,7 @@ func (s *solveServer) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cfg.Logger != nil {
-		s.cfg.Logger.Info("job canceled", "job", snap.ID, "remote", r.RemoteAddr)
+		s.cfg.Logger.Info("job canceled", "corr", corr, "job", snap.ID, "remote", r.RemoteAddr)
 	}
 	s.writeJob(w, http.StatusOK, jobResponse{Job: snap})
 }

@@ -238,16 +238,24 @@ func modelHash(body []byte) string {
 
 // retryAfterSecs derives a Retry-After value from the observed p95
 // solve wall time: a shed request behind queueLen waiters can expect
-// roughly (queueLen+1) x p95 before capacity frees up. Clamped to
-// [1, 60] so a cold histogram (NaN p95) or a pathological tail still
-// yields a sane header.
-func retryAfterSecs(p95 float64, queueLen int) int {
-	if math.IsNaN(p95) || p95 < 0 {
-		return 1
+// roughly (queueLen+1) x p95 before capacity frees up. A cold histogram
+// (no observations yet — Quantile answers NaN) or a degenerate
+// zero/negative p95 says nothing about capacity, so the configured
+// floor is the answer, and the result is clamped to [floor, 60] so a
+// pathological tail still yields a sane header. floor < 1 means 1.
+func retryAfterSecs(p95 float64, queueLen, floor int) int {
+	if floor < 1 {
+		floor = 1
+	}
+	if floor > 60 {
+		floor = 60
+	}
+	if math.IsNaN(p95) || p95 <= 0 {
+		return floor
 	}
 	secs := int(math.Ceil(p95 * float64(queueLen+1)))
-	if secs < 1 {
-		secs = 1
+	if secs < floor {
+		secs = floor
 	}
 	if secs > 60 {
 		secs = 60

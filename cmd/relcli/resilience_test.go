@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -332,5 +333,70 @@ func TestServeOversizeBody(t *testing.T) {
 	resp := decodeSolve(t, w)
 	if w.Code != http.StatusBadRequest || resp.Code != "too-large" {
 		t.Errorf("oversize body: status %d code %q, want 400 too-large", w.Code, resp.Code)
+	}
+}
+
+// TestRetryAfterSecsColdHistogram: before any solve completes the p95
+// quantile is NaN; the Retry-After derivation must answer the
+// configured floor, never 0 or a NaN-coerced garbage value
+// (regression: a cold histogram used to produce Retry-After: 0,
+// which RFC 9110 clients read as "retry immediately" — exactly wrong
+// while the server is saturated).
+func TestRetryAfterSecsColdHistogram(t *testing.T) {
+	cases := []struct {
+		name     string
+		p95      float64
+		queueLen int
+		floor    int
+		want     int
+	}{
+		{"cold histogram NaN", math.NaN(), 0, 1, 1},
+		{"cold histogram NaN with floor", math.NaN(), 5, 3, 3},
+		{"zero p95", 0, 2, 2, 2},
+		{"negative p95", -1, 0, 1, 1},
+		{"warm below floor", 0.1, 0, 4, 4},
+		{"warm above floor", 2.5, 1, 1, 5}, // ceil(2.5*2)
+		{"clamped to 60", 30, 9, 1, 60},
+		{"floor below 1 coerced", math.NaN(), 0, 0, 1},
+		{"floor above 60 clamped", math.NaN(), 0, 120, 60},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSecs(tc.p95, tc.queueLen, tc.floor); got != tc.want {
+			t.Errorf("%s: retryAfterSecs(%g, %d, %d) = %d, want %d",
+				tc.name, tc.p95, tc.queueLen, tc.floor, got, tc.want)
+		}
+	}
+}
+
+// TestServeColdRejectRetryAfterFloor drives the integration path: a
+// capacity rejection on a server that has never completed a solve
+// (cold latency histogram) carries the configured Retry-After floor.
+func TestServeColdRejectRetryAfterFloor(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	if err := failpoint.Arm("linalg.sor.sweep", "times(1)->delay(2s)"); err != nil {
+		t.Fatal(err)
+	}
+	mux := mustServeMux(t, serveConfig{
+		Registry:    metrics.NewRegistry(),
+		MaxInflight: 1, QueueDepth: 1, QueueWait: 100 * time.Millisecond,
+		RetryFloor: 7,
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	first := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(first)
+		postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
+	}()
+	<-first
+	time.Sleep(300 * time.Millisecond) // let the slot-holder start solving
+	w := postModel(t, mux, filepath.Join("..", "..", "models", "repairfarm.json"), "")
+	wg.Wait()
+	if w.Code != http.StatusServiceUnavailable && w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 503 or 429", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "7" {
+		t.Errorf("cold-histogram rejection Retry-After = %q, want \"7\" (the floor)", got)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/reldash"
+	"repro/internal/slo"
 )
 
 // maxSolveBody bounds the accepted model-document size; anything larger
@@ -78,6 +80,40 @@ type serveConfig struct {
 	JobsDir string
 	// JobWorkers bounds concurrently running sweep shards (0 means 4).
 	JobWorkers int
+	// SLOPath configures declarative objectives: a JSON file path (see
+	// slo.ParseConfig), "" for the built-in defaults, or "off" to disable
+	// the SLO engine entirely.
+	SLOPath string
+	// SLOObjectives, when non-nil, overrides SLOPath with objectives
+	// built in code (tests, chaos driver).
+	SLOObjectives []slo.Objective
+	// WideWriter receives the sampled wide-event log as JSON lines (nil
+	// disables; runServe points it at a file or stderr).
+	WideWriter io.Writer
+	// WideSample keeps 1-in-N healthy wide events (errors and non-ok
+	// outcomes always log; <= 1 keeps everything).
+	WideSample int
+	// CorrSeed seeds the correlation-ID stream; 0 derives a seed from
+	// the clock (tests pin it for deterministic IDs).
+	CorrSeed uint64
+	// RetryFloor is the minimum Retry-After hint in seconds for shed and
+	// capacity-timeout replies — the answer when the latency histogram
+	// is still empty (0 means 1).
+	RetryFloor int
+	// ProfileDir enables the continuous-profiling ring: periodic pprof
+	// CPU/heap captures retained in a bounded on-disk ring (empty
+	// disables).
+	ProfileDir string
+	// ProfileEvery is the capture cadence (0 means 30s when ProfileDir
+	// is set).
+	ProfileEvery time.Duration
+	// ProfileMax bounds retained profile files (0 means 32).
+	ProfileMax int
+	// SelfModelEvery is the self-model sampling cadence: every tick the
+	// server classifies its own state (ok / saturated / open) into the
+	// availability CTMC it periodically solves about itself. 0 disables
+	// the background sampler; tests step the model explicitly.
+	SelfModelEvery time.Duration
 }
 
 // solveServer is the long-running HTTP solve service behind
@@ -94,6 +130,18 @@ type solveServer struct {
 	jobsResumed int
 	start       time.Time
 	draining    atomic.Bool
+
+	corr      *obs.CorrSource
+	wide      *obs.WideLog
+	slo       *slo.Engine
+	selfModel *slo.SelfModel
+	selfPred  atomic.Pointer[selfPrediction]
+	profiles  *obs.ProfileRing
+
+	// stopBg stops the background samplers (self-model, profiling);
+	// bgWG waits them out on close.
+	stopBg chan struct{}
+	bgWG   sync.WaitGroup
 
 	requests *metrics.Counter
 	latency  *metrics.Histogram
@@ -135,6 +183,12 @@ func newSolveServer(cfg serveConfig) (*solveServer, *http.ServeMux, error) {
 	if cfg.TraceStoreSize <= 0 {
 		cfg.TraceStoreSize = 256
 	}
+	if cfg.RetryFloor <= 0 {
+		cfg.RetryFloor = 1
+	}
+	if cfg.CorrSeed == 0 {
+		cfg.CorrSeed = uint64(time.Now().UnixNano())
+	}
 	if cfg.Failpoints != "" {
 		if err := failpoint.ArmSchedule(cfg.Failpoints); err != nil {
 			return nil, nil, err
@@ -166,6 +220,55 @@ func newSolveServer(cfg serveConfig) (*solveServer, *http.ServeMux, error) {
 	s.brk = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown,
 		func(class string) { s.breaker.Inc(class) })
 	failpoint.SetOnTrip(func(name string) { s.fpTrips.Inc(name) })
+	s.corr = obs.NewCorrSource(cfg.CorrSeed)
+	s.selfModel = slo.NewSelfModel()
+	s.stopBg = make(chan struct{})
+	if cfg.WideWriter != nil {
+		s.wide = obs.NewWideLog(cfg.WideWriter, cfg.WideSample)
+	}
+	objectives := cfg.SLOObjectives
+	if objectives == nil {
+		switch cfg.SLOPath {
+		case "off":
+			// SLO engine disabled.
+		case "":
+			objectives = slo.DefaultObjectives()
+		default:
+			f, err := os.Open(cfg.SLOPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			objectives, err = slo.ParseConfig(f)
+			f.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if len(objectives) > 0 {
+		eng, err := slo.New(slo.Config{
+			Objectives: objectives,
+			Registry:   cfg.Registry,
+			OnBreach: func(b slo.Breach) {
+				if cfg.Logger != nil {
+					cfg.Logger.Warn("slo breach",
+						"objective", b.Objective, "window", b.Window,
+						"burn_rate", b.BurnRate, "threshold", b.Threshold)
+				}
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		s.slo = eng
+	}
+	if cfg.ProfileDir != "" {
+		ring, err := obs.NewProfileRing(cfg.ProfileDir, cfg.ProfileMax)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.profiles = ring
+	}
 	jobLogf := func(string, ...any) {}
 	if cfg.Logger != nil {
 		jobLogf = func(format string, args ...any) {
@@ -191,6 +294,10 @@ func newSolveServer(cfg serveConfig) (*solveServer, *http.ServeMux, error) {
 	mux.HandleFunc("POST /solve", s.isolated("/solve", s.handleSolve))
 	mux.HandleFunc("POST /analyze", s.isolated("/analyze", s.handleAnalyze))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// SLO status and the profile listing mount unconditionally (like
+	// /healthz): chaos drills and probes need them with the UI off.
+	mux.HandleFunc("GET /api/slo", s.isolated("/api/slo", s.handleSLO))
+	mux.HandleFunc("GET /api/profiles", s.isolated("/api/profiles", s.handleProfiles))
 	mux.HandleFunc("POST /jobs", s.isolated("/jobs", s.handleJobSubmit))
 	mux.HandleFunc("GET /jobs", s.isolated("/jobs", s.handleJobList))
 	mux.HandleFunc("GET /jobs/{id}", s.isolated("/jobs", s.handleJobGet))
@@ -206,12 +313,15 @@ func newSolveServer(cfg serveConfig) (*solveServer, *http.ServeMux, error) {
 			Start:      s.start,
 			Resilience: s.resilience,
 			Jobs:       s.jobRows,
+			SLO:        s.sloView,
+			Profiles:   s.profileRows,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
 		dash.Register(mux)
 	}
+	s.startBackground()
 	return s, mux, nil
 }
 
@@ -237,7 +347,10 @@ func (s *solveServer) isolated(route string, h http.HandlerFunc) http.HandlerFun
 			s.requests.Inc("500")
 			s.win.Record(true)
 			if s.cfg.Logger != nil {
-				s.cfg.Logger.Error("handler panic isolated", "route", route, "err", err)
+				// The handler stamped its correlation ID on the response
+				// header before panicking; recover it for the log join.
+				s.cfg.Logger.Error("handler panic isolated", "route", route,
+					"corr", w.Header().Get(obs.CorrHeader), "err", err)
 			}
 			// Best effort: if the handler already wrote a header this is a
 			// no-op on the status line but still closes out the request.
@@ -271,6 +384,18 @@ type healthzResponse struct {
 	Breakers map[string]string `json:"breakers,omitempty"`
 	Store    healthzOccupancy  `json:"trace_store"`
 	Jobs     healthzJobs       `json:"jobs"`
+	// SLO summarizes the objective engine so load balancers can act on
+	// budget exhaustion without scraping /api/slo; omitted when the
+	// engine is disabled (keeping the pre-SLO JSON shape).
+	SLO *healthzSLO `json:"slo,omitempty"`
+}
+
+// healthzSLO is the probe-sized SLO summary: the worst burn rate and the
+// smallest remaining error budget across all objectives.
+type healthzSLO struct {
+	WorstBurn       float64 `json:"worst_burn"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	Breaching       bool    `json:"breaching"`
 }
 
 // healthzJobs summarizes the async job engine for the probe reply.
@@ -299,6 +424,7 @@ func (s *solveServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Breakers: s.brk.snapshot(),
 		Store:    healthzOccupancy{Len: s.store.Len(), Cap: s.store.Cap()},
 		Jobs:     s.jobsHealth(),
+		SLO:      s.sloHealth(),
 	}
 	if s.draining.Load() {
 		resp.Status = "draining"
@@ -307,8 +433,30 @@ func (s *solveServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(resp); err != nil && s.cfg.Logger != nil {
-		s.cfg.Logger.Warn("healthz response write failed", "err", err)
+		// Health probes carry no correlation ID to thread through.
+		s.cfg.Logger.Warn("healthz response write failed", "err", err) //numvet:allow slog-corr health probes are uncorrelated
 	}
+}
+
+// sloHealth condenses the objective statuses for /healthz; nil when the
+// SLO engine is off.
+func (s *solveServer) sloHealth() *healthzSLO {
+	if s.slo == nil {
+		return nil
+	}
+	out := &healthzSLO{BudgetRemaining: 1}
+	for _, o := range s.slo.Status() {
+		if o.WorstBurn > out.WorstBurn {
+			out.WorstBurn = o.WorstBurn
+		}
+		if o.BudgetRemaining < out.BudgetRemaining {
+			out.BudgetRemaining = o.BudgetRemaining
+		}
+		if o.Breaching {
+			out.Breaching = true
+		}
+	}
+	return out
 }
 
 // solveResponse is the POST /solve reply document. Error carries the
@@ -330,9 +478,10 @@ type solveResponse struct {
 }
 
 // retryAfter derives the Retry-After seconds from the observed p95
-// solve wall and the current queue depth.
+// solve wall and the current queue depth, bottoming out at the
+// configured floor while the histogram is still cold.
 func (s *solveServer) retryAfter() int {
-	return retryAfterSecs(s.latency.Quantile(0.95, "/solve"), s.adm.queueLen())
+	return retryAfterSecs(s.latency.Quantile(0.95, "/solve"), s.adm.queueLen(), s.cfg.RetryFloor)
 }
 
 // handleSolve runs one model document through the instrumented solve
@@ -343,17 +492,24 @@ func (s *solveServer) retryAfter() int {
 func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	code := http.StatusOK
+	corr := s.corrStamp(w, r)
+	ev := &obs.WideEvent{Time: start, Corr: corr, Route: "/solve"}
 	defer func() {
 		s.requests.Inc(strconv.Itoa(code))
-		s.latency.Observe(time.Since(start).Seconds(), "/solve")
+		wall := time.Since(start)
+		s.latency.Observe(wall.Seconds(), "/solve")
 		s.win.Record(code >= 400)
+		s.observeSLO("/solve", code, wall)
+		ev.Status = code
+		ev.WallMS = float64(wall.Nanoseconds()) / 1e6
+		s.wide.Log(*ev)
 	}()
 
 	if s.draining.Load() {
 		code = http.StatusServiceUnavailable
 		s.shed.Inc("draining")
 		w.Header().Set("Retry-After", "1")
-		s.reply(w, code, solveResponse{Error: "server is draining for shutdown", Code: "draining"})
+		s.replyEv(w, ev, code, solveResponse{Error: "server is draining for shutdown", Code: "draining"})
 		return
 	}
 
@@ -367,7 +523,7 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 			resp.Error = fmt.Sprintf("model document exceeds the %d-byte limit", s.cfg.MaxBody)
 			resp.Code = "too-large"
 		}
-		s.reply(w, code, resp)
+		s.replyEv(w, ev, code, resp)
 		return
 	}
 	hash := modelHash(body)
@@ -375,6 +531,7 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 	release, verdict := s.adm.acquire(r.Context())
 	switch verdict {
 	case admitOK:
+		ev.Queue = "ok"
 		s.inflight.Add(1)
 		defer func() {
 			s.inflight.Add(-1)
@@ -382,25 +539,28 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}()
 	case admitShed:
 		code = http.StatusTooManyRequests
+		ev.Queue = "shed"
 		s.shed.Inc("shed")
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-		s.reply(w, code, solveResponse{
+		s.replyEv(w, ev, code, solveResponse{
 			ModelHash: hash, Code: "shed",
 			Error: "admission queue full; load shed",
 		})
 		return
 	case admitTimeout:
 		code = http.StatusServiceUnavailable
+		ev.Queue = "timeout"
 		s.shed.Inc("capacity-timeout")
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-		s.reply(w, code, solveResponse{
+		s.replyEv(w, ev, code, solveResponse{
 			ModelHash: hash, Code: "capacity-timeout",
 			Error: fmt.Sprintf("no solve slot freed within %s", s.cfg.QueueWait),
 		})
 		return
 	default: // admitCanceled: the client is gone; close out cheaply.
 		code = http.StatusServiceUnavailable
-		s.reply(w, code, solveResponse{ModelHash: hash, Code: "canceled",
+		ev.Queue = "canceled"
+		s.replyEv(w, ev, code, solveResponse{ModelHash: hash, Code: "canceled",
 			Error: "client canceled while queued"})
 		return
 	}
@@ -414,7 +574,7 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusInternalServerError
 			respCode = "injected"
 		}
-		s.reply(w, code, solveResponse{ModelHash: hash, Error: err.Error(), Code: respCode})
+		s.replyEv(w, ev, code, solveResponse{ModelHash: hash, Error: err.Error(), Code: respCode})
 		return
 	}
 
@@ -422,14 +582,23 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// failing consecutively, short-circuit to a degraded bounds-only
 	// answer rather than burning a solve slot on a likely failure.
 	proceed, probe := s.brk.allow(spec.Type)
+	switch {
+	case !proceed:
+		ev.Breaker = "open"
+	case probe:
+		ev.Breaker = "probe"
+	default:
+		ev.Breaker = "closed"
+	}
 	if !proceed {
-		s.replyDegraded(w, &code, spec, hash)
+		s.replyDegraded(w, ev, &code, spec, hash, corr)
 		return
 	}
 
 	// Every solve is traced so the store retains its span tree for the
 	// dashboard; the response only carries the tree when asked (?trace=1).
 	tr := obs.NewTrace(rootName(spec))
+	tr.Set(obs.S("corr", corr))
 	recs := []obs.Recorder{obs.NewMetricsRecorder(s.cfg.Registry, spec.Name), tr}
 	if s.cfg.Logger != nil {
 		recs = append(recs, obs.NewSlogRecorder(s.cfg.Logger))
@@ -460,47 +629,51 @@ func (s *solveServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.brk.record(spec.Type, probe, code >= http.StatusInternalServerError)
 	rec := obs.RecordFromTrace(tr, rootName(spec), "solve")
 	rec.Start = start
+	rec.Corr = corr
 	rec.Outcome = solveOutcome(solveErr)
 	if solveErr != nil {
 		rec.Error = solveErr.Error()
 	}
+	ev.Solver = rec.Solver
+	ev.Outcome = rec.Outcome
 	// A panicking trace store (failpoint) must not take the response
 	// down with it: the record is an observability nicety.
-	if err := guard.Isolate("serve.store", func() error { s.store.Put(rec); return nil }); err != nil {
+	if err := guard.Isolate("serve.store", func() error { ev.Trace = s.store.Put(rec); return nil }); err != nil {
 		s.panics.Inc("/solve/store")
 	}
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("solve request",
-			"model", spec.Name, "type", spec.Type, "status", code,
+			"corr", corr, "model", spec.Name, "type", spec.Type, "status", code,
 			"model_hash", hash, "degraded", false,
 			"wall_ms", float64(time.Since(start).Nanoseconds())/1e6,
 			"remote", r.RemoteAddr)
 	}
-	s.reply(w, code, resp)
+	s.replyEv(w, ev, code, resp)
 }
 
 // replyDegraded answers a breaker-open request: a bounds-only degraded
 // solve when the model family has one (rbd, faulttree), 503 with the
 // cooldown-derived Retry-After when it does not (ctmc and friends have
 // no cheap certified bounds).
-func (s *solveServer) replyDegraded(w http.ResponseWriter, code *int, spec *modelio.Spec, hash string) {
+func (s *solveServer) replyDegraded(w http.ResponseWriter, ev *obs.WideEvent, code *int, spec *modelio.Spec, hash, corr string) {
 	results, err := modelio.SolveBounds(spec)
 	if err != nil {
 		*code = http.StatusServiceUnavailable
 		s.shed.Inc("breaker-open")
 		w.Header().Set("Retry-After", strconv.Itoa(s.brk.retrySecs(spec.Type)))
-		s.reply(w, *code, solveResponse{
+		s.replyEv(w, ev, *code, solveResponse{
 			Model: spec.Name, ModelHash: hash, Code: "breaker-open",
 			Error: fmt.Sprintf("circuit breaker open for model class %q and no bounds-only path: %v", spec.Type, err),
 		})
 		return
 	}
 	s.degraded.Inc(spec.Type)
+	ev.Outcome = "degraded"
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Warn("degraded bounds-only answer",
-			"model", spec.Name, "type", spec.Type, "model_hash", hash)
+			"corr", corr, "model", spec.Name, "type", spec.Type, "model_hash", hash)
 	}
-	s.reply(w, *code, solveResponse{
+	s.replyEv(w, ev, *code, solveResponse{
 		Model: spec.Name, ModelHash: hash, Degraded: true, Results: results,
 	})
 }
@@ -512,9 +685,16 @@ func (s *solveServer) replyDegraded(w http.ResponseWriter, code *int, spec *mode
 func (s *solveServer) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	code := http.StatusOK
+	corr := s.corrStamp(w, r)
+	ev := &obs.WideEvent{Time: start, Corr: corr, Route: "/analyze"}
 	defer func() {
-		s.latency.Observe(time.Since(start).Seconds(), "/analyze")
+		wall := time.Since(start)
+		s.latency.Observe(wall.Seconds(), "/analyze")
 		s.win.Record(code >= 400)
+		s.observeSLO("/analyze", code, wall)
+		ev.Status = code
+		ev.WallMS = float64(wall.Nanoseconds()) / 1e6
+		s.wide.Log(*ev)
 	}()
 	// The body is read once and re-parsed from memory: analyzeDocument
 	// consumes the reader, and the trace store wants the model's name.
@@ -530,8 +710,12 @@ func (s *solveServer) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if lint.HasErrors(rep.Diagnostics) {
 		code = http.StatusUnprocessableEntity
 	}
-	s.store.Put(obs.TraceRecord{
-		Model:    analyzeModelName(body),
+	model := analyzeModelName(body)
+	ev.Model = model
+	ev.Outcome = analyzeOutcome(code)
+	ev.Trace = s.store.Put(obs.TraceRecord{
+		Corr:     corr,
+		Model:    model,
 		Endpoint: "analyze",
 		Outcome:  analyzeOutcome(code),
 		Start:    start,
@@ -542,7 +726,7 @@ func (s *solveServer) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil && s.cfg.Logger != nil {
-		s.cfg.Logger.Warn("analyze response write failed", "err", err)
+		s.cfg.Logger.Warn("analyze response write failed", "corr", corr, "err", err)
 	}
 }
 
@@ -662,8 +846,29 @@ func runServe(args []string, stdout io.Writer) error {
 	benchPath := fs.String("bench", "BENCH_solvers.json", "bench baseline JSON backing /api/bench")
 	jobsDir := fs.String("jobs-dir", "", "checkpoint directory for async sweep jobs; killed processes resume incomplete jobs from it (empty disables durability)")
 	jobWorkers := fs.Int("job-workers", 4, "concurrently running sweep shards across all jobs")
+	sloPath := fs.String("slo", "", "SLO objectives JSON file (empty uses built-in defaults; \"off\" disables the SLO engine)")
+	wideEvents := fs.String("wide-events", "", "wide-event log destination: a file path, or \"-\" for stderr (empty disables)")
+	wideSample := fs.Int("wide-sample", 10, "keep 1-in-N healthy wide events (errors always log; 1 keeps all)")
+	profileDir := fs.String("profile-dir", "", "continuous-profiling ring directory for periodic pprof CPU/heap captures (empty disables)")
+	profileEvery := fs.Duration("profile-every", 30*time.Second, "continuous-profiling capture cadence")
+	profileMax := fs.Int("profile-max", 32, "profile files retained in the ring before the oldest is deleted")
+	retryFloor := fs.Int("retry-floor", 1, "minimum Retry-After seconds hinted on shed/capacity responses")
+	selfModelEvery := fs.Duration("selfmodel-every", 2*time.Second, "self-model sampling cadence: how often serve classifies its own state into the availability CTMC it solves about itself (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var wideW io.Writer
+	switch *wideEvents {
+	case "":
+	case "-":
+		wideW = stderr
+	default:
+		f, err := os.OpenFile(*wideEvents, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		wideW = f
 	}
 	if _, err := guard.ParseStrictness(*rails); err != nil {
 		return err
@@ -698,6 +903,14 @@ func runServe(args []string, stdout io.Writer) error {
 		BenchPath:        *benchPath,
 		JobsDir:          *jobsDir,
 		JobWorkers:       *jobWorkers,
+		SLOPath:          *sloPath,
+		WideWriter:       wideW,
+		WideSample:       *wideSample,
+		ProfileDir:       *profileDir,
+		ProfileEvery:     *profileEvery,
+		ProfileMax:       *profileMax,
+		RetryFloor:       *retryFloor,
+		SelfModelEvery:   *selfModelEvery,
 	})
 	if err != nil {
 		return err
@@ -725,6 +938,7 @@ func runServe(args []string, stdout io.Writer) error {
 	// solves and job submissions are refused while in-flight work gets
 	// the grace period.
 	s.draining.Store(true)
+	s.stopBackground()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	// The job engine drains concurrently with the HTTP listener: queued

@@ -38,6 +38,7 @@ func Registry() (*core.Registry, error) {
 		core.Experiment{ID: "E13", Title: "Largeness avoidance: exact lumping of identical components (extension)", Run: E13Lumping},
 		core.Experiment{ID: "E14", Title: "Automatic lumping pre-pass: discovered reduction makes the cubic MTTA solve cheap (extension)", Run: E14AutoLump},
 		core.Experiment{ID: "E15", Title: "Async job engine: sharded uncertainty sweep matches the exact solve in O(1) memory (extension)", Run: E15JobSweep},
+		core.Experiment{ID: "E16", Title: "Self-model fidelity: sampled availability CTMC of the server matches ground truth (extension)", Run: E16SelfModel},
 	)
 }
 

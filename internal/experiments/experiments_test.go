@@ -24,8 +24,8 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := r.IDs()
-	if len(ids) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(ids))
 	}
 	for i, id := range ids {
 		want := "E" + strconv.Itoa(i+1)
@@ -351,6 +351,39 @@ func TestE15Shape(t *testing.T) {
 	}
 }
 
+func TestE16Shape(t *testing.T) {
+	t.Setenv(e16HoursEnv, "") // pin the CI-sized six-hour horizon
+	tbl := runExp(t, "E16")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (calm, congested, flapping)", len(tbl.Rows))
+	}
+	prevMeasured := 1.1
+	for i, row := range tbl.Rows {
+		measured, modeled, gap := parse(t, row[5]), parse(t, row[6]), parse(t, row[7])
+		// Scenarios are ordered by increasing turbulence, so measured
+		// availability must strictly decrease down the table.
+		if measured >= prevMeasured {
+			t.Errorf("row %d: measured %g not below previous %g", i, measured, prevMeasured)
+		}
+		prevMeasured = measured
+		if measured <= 0 || measured >= 1 {
+			t.Errorf("row %d: measured availability %g outside (0,1)", i, measured)
+		}
+		if d := modeled - measured; d > e16Band || d < -e16Band {
+			t.Errorf("row %d: modeled %g vs measured %g outside band %g", i, modeled, measured, e16Band)
+		}
+		abs := modeled - measured
+		if abs < 0 {
+			abs = -abs
+		}
+		// The availabilities are printed to 8 significant digits, so the
+		// recomputed gap can drift a few 1e-9 from the reported column.
+		if diff := gap - abs; diff > 1e-7 || diff < -1e-7 {
+			t.Errorf("row %d: abs_gap column %g inconsistent with |%g - %g|", i, gap, modeled, measured)
+		}
+	}
+}
+
 func TestRunAllRenders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full run in long mode only")
@@ -364,7 +397,7 @@ func TestRunAllRenders(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for i := 1; i <= 15; i++ {
+	for i := 1; i <= 16; i++ {
 		if !strings.Contains(out, "E"+strconv.Itoa(i)+" — ") {
 			t.Errorf("output missing E%d", i)
 		}

@@ -481,7 +481,7 @@ func (j *job) snapshot() *Snapshot {
 		ID: j.id, State: j.state, Error: j.errMsg,
 		Samples: j.spec.Samples, ShardSize: j.spec.ShardSize, Shards: j.total,
 		DoneShards: len(j.shards), Retries: j.retries, Resumed: j.resumed,
-		IdempotencyKey: j.key, Submitted: j.submitted, Result: j.result,
+		IdempotencyKey: j.key, Corr: j.spec.Corr, Submitted: j.submitted, Result: j.result,
 	}
 	if j.state.terminal() {
 		t := j.finished

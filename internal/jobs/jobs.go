@@ -88,6 +88,10 @@ type Spec struct {
 	// Quantiles are the tracked quantiles in (0,1); default
 	// {0.05, 0.5, 0.95}.
 	Quantiles []float64 `json:"quantiles,omitempty"`
+	// Corr is the correlation ID of the submitting request, joining the
+	// job (and its WAL record) to the request's traces and wide-event
+	// log line. The serve layer overwrites whatever the client sent.
+	Corr string `json:"corr,omitempty"`
 }
 
 // normalize fills defaults in place so the WAL records the effective
@@ -149,6 +153,8 @@ type Snapshot struct {
 	Resumed bool `json:"resumed,omitempty"`
 	// IdempotencyKey echoes the submission key, when one was given.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Corr echoes the submitting request's correlation ID.
+	Corr string `json:"corr,omitempty"`
 	// Submitted and Finished are wall-clock bookkeeping (reporting
 	// only; they never influence the computation).
 	Submitted time.Time  `json:"submitted"`

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProfileRingHeapAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewProfileRing(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.CaptureHeap(); err != nil {
+			t.Fatalf("heap capture %d: %v", i, err)
+		}
+	}
+	got := r.List()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d entries, want 3", len(got))
+	}
+	// Newest first, and the evicted files are gone from disk.
+	if got[0].Name != "heap-000005.pprof" {
+		t.Fatalf("newest entry = %q, want heap-000005.pprof", got[0].Name)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("%d files on disk, want 3", len(files))
+	}
+	for _, e := range got {
+		fi, err := os.Stat(filepath.Join(dir, e.Name))
+		if err != nil {
+			t.Fatalf("listed entry missing on disk: %v", err)
+		}
+		if fi.Size() == 0 || e.Bytes != fi.Size() {
+			t.Fatalf("entry %s bytes=%d disk=%d", e.Name, e.Bytes, fi.Size())
+		}
+	}
+}
+
+func TestProfileRingCPUCancel(t *testing.T) {
+	r, err := NewProfileRing(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // capture should return promptly instead of waiting 30s
+	start := time.Now()
+	e, err := r.CaptureCPU(ctx, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("canceled capture took %v", waited)
+	}
+	if e.Kind != "cpu" || e.End.Before(e.Start) {
+		t.Fatalf("bad entry %+v", e)
+	}
+}
+
+func TestProfileRingOverlapping(t *testing.T) {
+	r, err := NewProfileRing(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.CaptureHeap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := r.Overlapping(e.Start.Add(-time.Second), e.Start.Add(time.Second))
+	if len(hits) != 1 {
+		t.Fatalf("window around capture matched %d entries, want 1", len(hits))
+	}
+	miss := r.Overlapping(e.Start.Add(-time.Hour), e.Start.Add(-time.Minute))
+	if len(miss) != 0 {
+		t.Fatalf("disjoint window matched %d entries, want 0", len(miss))
+	}
+}

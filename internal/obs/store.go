@@ -23,6 +23,9 @@ type TraceRecord struct {
 	ID string `json:"id"`
 	// Seq is the store-assigned monotone sequence number behind ID.
 	Seq uint64 `json:"seq"`
+	// Corr is the request's correlation ID, joining this record to its
+	// wide-event log line, slog entries, and job records.
+	Corr string `json:"corr,omitempty"`
 	// Model names the solved model (the spec's name field).
 	Model string `json:"model"`
 	// Endpoint says which request produced the record ("solve", "analyze").
@@ -68,11 +71,15 @@ type TraceFilter struct {
 	Model   string
 	Solver  string
 	Outcome string
+	Corr    string
 	Limit   int
 }
 
 func (f TraceFilter) matches(rec *TraceRecord) bool {
 	if f.Model != "" && rec.Model != f.Model {
+		return false
+	}
+	if f.Corr != "" && rec.Corr != f.Corr {
 		return false
 	}
 	if f.Solver != "" && rec.Solver != f.Solver {

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// WideEvent is one request's canonical observability record: a single
+// wide JSON line carrying everything worth joining on — correlation ID,
+// model identity, solver outcome, admission/breaker verdicts, wall time,
+// and status. One line per sampled request; every field flat so the log
+// round-trips through jq without schema gymnastics.
+type WideEvent struct {
+	// Time is the request start time.
+	Time time.Time `json:"ts"`
+	// Corr is the request's correlation ID (joins logs/traces/jobs).
+	Corr string `json:"corr"`
+	// Route is the HTTP route ("/solve", "/analyze", "/jobs").
+	Route string `json:"route"`
+	// Status is the HTTP status code of the response.
+	Status int `json:"status"`
+	// Code is the typed error code on non-200 responses ("shed",
+	// "breaker-open", "bad-spec", ...), empty on success.
+	Code string `json:"code,omitempty"`
+	// Model is the model name, ModelHash its content hash.
+	Model     string `json:"model,omitempty"`
+	ModelHash string `json:"model_hash,omitempty"`
+	// Solver is the dominant solver of the solve, Outcome the chain
+	// outcome ("ok", "degraded", "canceled", ...).
+	Solver  string `json:"solver,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	// Degraded marks a bounds-only breaker answer.
+	Degraded bool `json:"degraded,omitempty"`
+	// Queue is the admission verdict ("ok", "shed", "timeout",
+	// "canceled"); Breaker the circuit verdict ("closed", "open",
+	// "probe").
+	Queue   string `json:"queue,omitempty"`
+	Breaker string `json:"breaker,omitempty"`
+	// Trace is the TraceStore ID the request's trace landed under, so
+	// `corr` and `trace` cross-resolve from a single log line.
+	Trace string `json:"trace,omitempty"`
+	// WallMS is the request wall time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// WideLog writes sampled wide events as JSON lines. Successful requests
+// are emitted 1-in-sample; anything interesting — non-2xx status or a
+// non-ok solve outcome — is always emitted, so the log stays small under
+// healthy load yet complete under failure.
+type WideLog struct {
+	mu     sync.Mutex
+	w      io.Writer
+	sample int
+	n      uint64 // ok-event counter driving the 1-in-sample gate
+}
+
+// NewWideLog builds a log writing to w, keeping 1-in-sample healthy
+// events (sample <= 1 keeps all).
+func NewWideLog(w io.Writer, sample int) *WideLog {
+	if sample < 1 {
+		sample = 1
+	}
+	return &WideLog{w: w, sample: sample}
+}
+
+// Log emits ev if it passes sampling, reporting whether a line was
+// written. Write errors are swallowed: the wide log is diagnostic and
+// must never fail a request.
+func (l *WideLog) Log(ev WideEvent) bool {
+	if l == nil || l.w == nil {
+		return false
+	}
+	interesting := ev.Status >= 400 || (ev.Outcome != "" && ev.Outcome != "ok")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !interesting {
+		l.n++
+		if l.sample > 1 && l.n%uint64(l.sample) != 1 {
+			return false
+		}
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	b = append(b, '\n')
+	if _, err := l.w.Write(b); err != nil {
+		return false
+	}
+	return true
+}

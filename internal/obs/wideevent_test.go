@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWideLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWideLog(&buf, 10)
+	for i := 0; i < 40; i++ {
+		l.Log(WideEvent{Status: 200, Outcome: "ok", Corr: "c"})
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 4 {
+		t.Fatalf("1-in-10 sampling of 40 ok events wrote %d lines, want 4", lines)
+	}
+}
+
+func TestWideLogErrorsAlwaysEmitted(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWideLog(&buf, 1000)
+	for i := 0; i < 5; i++ {
+		if !l.Log(WideEvent{Status: 500, Code: "internal"}) {
+			t.Fatal("error event was sampled away")
+		}
+	}
+	if !l.Log(WideEvent{Status: 200, Outcome: "degraded"}) {
+		t.Fatal("non-ok outcome was sampled away")
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 6 {
+		t.Fatalf("wrote %d lines, want 6", got)
+	}
+}
+
+func TestWideLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWideLog(&buf, 1)
+	in := WideEvent{
+		Time:      time.Unix(1700000000, 0).UTC(),
+		Corr:      "deadbeefcafef00d",
+		Route:     "/solve",
+		Status:    200,
+		Model:     "repairfarm",
+		ModelHash: "a1b2c3",
+		Solver:    "gth",
+		Outcome:   "ok",
+		Queue:     "ok",
+		Breaker:   "closed",
+		Trace:     "t7",
+		WallMS:    1.25,
+	}
+	if !l.Log(in) {
+		t.Fatal("event not written")
+	}
+	var out WideEvent
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	// The flat schema jq queries depend on.
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"ts", "corr", "route", "status", "trace", "wall_ms"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("wide event missing key %q", k)
+		}
+	}
+}
+
+func TestWideLogNilSafe(t *testing.T) {
+	var l *WideLog
+	if l.Log(WideEvent{Status: 500}) {
+		t.Fatal("nil WideLog claimed to write")
+	}
+	if NewWideLog(nil, 1).Log(WideEvent{Status: 500}) {
+		t.Fatal("nil writer claimed to write")
+	}
+}

@@ -80,6 +80,58 @@ type Config struct {
 	// Jobs snapshots the async sweep jobs for /api/jobs and the index
 	// Jobs panel (nil hides both).
 	Jobs func() []JobRow
+	// SLO snapshots the serve-layer SLO engine for the index SLO panel
+	// (nil, or a nil return, hides it).
+	SLO func() *SLOView
+	// Profiles lists continuous-profiling captures overlapping a time
+	// window, for the trace detail page (nil hides the section).
+	Profiles func(start, end time.Time) []ProfileRow
+}
+
+// SLOView is the dashboard's flattened snapshot of the SLO engine —
+// defined here so reldash does not import the engine package.
+type SLOView struct {
+	Rows []SLORow `json:"rows"`
+	// Measured is the availability objective's good fraction over its
+	// longest window; Modeled is the self-model CTMC's predicted
+	// steady-state availability. Together they are the modeled-vs-
+	// measured pair the panel headlines.
+	Measured   float64 `json:"measured"`
+	Modeled    float64 `json:"modeled"`
+	ModeledOK  bool    `json:"modeled_ok"`
+	ModeledErr string  `json:"modeled_err,omitempty"`
+}
+
+// SLORow is one objective's status as the dashboard renders it.
+type SLORow struct {
+	Name            string      `json:"name"`
+	Kind            string      `json:"kind"`
+	Target          float64     `json:"target"`
+	WorstBurn       float64     `json:"worst_burn"`
+	BudgetRemaining float64     `json:"budget_remaining"`
+	Breaching       bool        `json:"breaching"`
+	Breaches        int         `json:"breaches"`
+	Windows         []SLOWindow `json:"windows"`
+}
+
+// BudgetPct renders the remaining error budget as a whole percentage
+// for the <progress> budget bars.
+func (r SLORow) BudgetPct() int { return int(r.BudgetRemaining*100 + 0.5) }
+
+// SLOWindow is one burn-rate window cell in an SLO row.
+type SLOWindow struct {
+	Label     string  `json:"label"`
+	Burn      float64 `json:"burn"`
+	Breaching bool    `json:"breaching"`
+}
+
+// ProfileRow is one continuous-profiling capture as the trace page
+// lists it.
+type ProfileRow struct {
+	Name  string    `json:"name"`
+	Kind  string    `json:"kind"`
+	Start time.Time `json:"start"`
+	Bytes int64     `json:"bytes"`
 }
 
 // JobRow is one async sweep job as the dashboard renders it — a
@@ -200,6 +252,7 @@ func filterFromQuery(r *http.Request) obs.TraceFilter {
 		Model:   q.Get("model"),
 		Solver:  q.Get("solver"),
 		Outcome: q.Get("outcome"),
+		Corr:    q.Get("corr"),
 	}
 	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
 		f.Limit = n
@@ -347,6 +400,8 @@ type indexData struct {
 	// JobsOn gates the Jobs panel; Jobs are the rows inside it.
 	JobsOn bool
 	Jobs   []JobRow
+	// SLO is the SLO panel snapshot (nil hides the panel).
+	SLO *SLOView
 }
 
 // solverRow is one {solver, model} wall-time histogram series condensed
@@ -391,6 +446,9 @@ func (h *Handler) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if h.cfg.Jobs != nil {
 		data.JobsOn = true
 		data.Jobs = h.cfg.Jobs()
+	}
+	if h.cfg.SLO != nil {
+		data.SLO = h.cfg.SLO()
 	}
 	if h.cfg.BenchPath != "" {
 		if trend, err := bench.LoadTrend(h.cfg.BenchPath); err != nil {
@@ -460,6 +518,11 @@ func (h *Handler) fillHighlights(data *indexData) {
 // traceData feeds templates/trace.gohtml.
 type traceData struct {
 	Rec obs.TraceRecord
+	// Profiles are the continuous-profiling captures whose windows
+	// overlap this trace, cross-linking a slow request to the pprof
+	// data recorded while it ran.
+	Profiles   []ProfileRow
+	ProfilesOn bool
 }
 
 func (h *Handler) handleTracePage(w http.ResponseWriter, r *http.Request) {
@@ -472,7 +535,13 @@ func (h *Handler) handleTracePage(w http.ResponseWriter, r *http.Request) {
 			template.HTMLEscapeString(id))
 		return
 	}
-	h.render(w, "trace", traceData{Rec: rec})
+	data := traceData{Rec: rec}
+	if h.cfg.Profiles != nil {
+		data.ProfilesOn = true
+		end := rec.Start.Add(time.Duration(rec.WallMS * float64(time.Millisecond)))
+		data.Profiles = h.cfg.Profiles(rec.Start, end)
+	}
+	h.render(w, "trace", data)
 }
 
 // --- sparkline rendering ---

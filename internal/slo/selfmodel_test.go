@@ -1,0 +1,104 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSelfModelTwoStateChain(t *testing.T) {
+	m := NewSelfModel()
+	clk := newFakeClock()
+	// Alternate 9s up / 1s down for several cycles, sampled every second:
+	// steady-state availability of the fitted chain must be 0.9 exactly
+	// (a two-state chain's steady state is the dwell-time split).
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 9; i++ {
+			m.Step("ok", clk.Now())
+			clk.Advance(time.Second)
+		}
+		m.Step("open", clk.Now())
+		clk.Advance(time.Second)
+	}
+	m.Step("ok", clk.Now()) // close the last down interval
+
+	pred, err := m.Predict([]string{"ok"}, clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.States != 2 || pred.Transitions != 2 {
+		t.Fatalf("fitted chain %d states / %d transitions, want 2/2", pred.States, pred.Transitions)
+	}
+	if math.Abs(pred.Availability-0.9) > 1e-9 {
+		t.Fatalf("predicted availability %g, want 0.9", pred.Availability)
+	}
+	if math.Abs(pred.Observed["ok"]-0.9) > 1e-9 {
+		t.Fatalf("observed fraction %g, want 0.9", pred.Observed["ok"])
+	}
+	if pred.Solver != "gth" {
+		t.Fatalf("solver = %q", pred.Solver)
+	}
+}
+
+func TestSelfModelThreeStateCycle(t *testing.T) {
+	m := NewSelfModel()
+	clk := newFakeClock()
+	// ok 300s -> saturated 60s -> open 40s, cycled; up = {ok, saturated}
+	// => availability 360/400 = 0.9.
+	phases := []struct {
+		state string
+		secs  int
+	}{{"ok", 300}, {"saturated", 60}, {"open", 40}}
+	for cycle := 0; cycle < 4; cycle++ {
+		for _, ph := range phases {
+			for i := 0; i < ph.secs; i += 5 {
+				m.Step(ph.state, clk.Now())
+				clk.Advance(5 * time.Second)
+			}
+		}
+	}
+	m.Step("ok", clk.Now())
+	pred, err := m.Predict([]string{"ok", "saturated"}, clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.States != 3 {
+		t.Fatalf("states = %d, want 3", pred.States)
+	}
+	if math.Abs(pred.Availability-0.9) > 1e-6 {
+		t.Fatalf("predicted availability %g, want 0.9", pred.Availability)
+	}
+}
+
+func TestSelfModelDegenerateCases(t *testing.T) {
+	m := NewSelfModel()
+	if _, err := m.Predict([]string{"ok"}, time.Unix(0, 0)); err == nil {
+		t.Fatal("empty model must refuse to predict")
+	}
+
+	clk := newFakeClock()
+	m.Step("ok", clk.Now())
+	clk.Advance(time.Minute)
+	pred, err := m.Predict([]string{"ok"}, clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Availability != 1 || pred.States != 1 {
+		t.Fatalf("single up-state prediction %+v, want availability 1", pred)
+	}
+	// Same single state but not in the up set: availability 0.
+	pred, err = m.Predict([]string{"other"}, clk.Now())
+	if err != nil || pred.Availability != 0 {
+		t.Fatalf("single down-state prediction %+v err %v", pred, err)
+	}
+
+	// Two states but the second has no observed exit yet: refuse with a
+	// named gap instead of fitting an accidental absorbing chain.
+	m.Step("open", clk.Now())
+	clk.Advance(time.Minute)
+	if _, err := m.Predict([]string{"ok"}, clk.Now()); err == nil ||
+		!strings.Contains(err.Error(), "no observed exit") {
+		t.Fatalf("expected no-observed-exit error, got %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time            { return c.t }
+func (c *fakeClock) Advance(d time.Duration)   { c.t = c.t.Add(d) }
+func (c *fakeClock) NowFunc() func() time.Time { return func() time.Time { return c.t } }
+
+func availEngine(t *testing.T, clk *fakeClock, reg *metrics.Registry, onBreach func(Breach)) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Objectives: []Objective{
+			{Name: "avail", Match: map[string]string{"route": "/solve"}, Target: 0.9},
+		},
+		Windows: []WindowSpec{
+			{Span: 5 * time.Minute, Threshold: 5},
+			{Span: time.Hour, Threshold: 1},
+		},
+		Registry:  reg,
+		MinEvents: 5,
+		Now:       clk.NowFunc(),
+		OnBreach:  onBreach,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineHealthyTraffic(t *testing.T) {
+	clk := newFakeClock()
+	e := availEngine(t, clk, nil, nil)
+	for i := 0; i < 50; i++ {
+		e.Observe("/solve", 200, 10*time.Millisecond)
+		clk.Advance(time.Second)
+	}
+	st := e.Status()
+	if len(st) != 1 {
+		t.Fatalf("got %d objective statuses, want 1", len(st))
+	}
+	o := st[0]
+	if o.WorstBurn != 0 || o.Breaching || o.BudgetRemaining != 1 || o.Measured != 1 {
+		t.Fatalf("healthy status wrong: %+v", o)
+	}
+	if o.Kind != "availability" {
+		t.Fatalf("kind = %q", o.Kind)
+	}
+	for _, w := range o.Windows {
+		if w.Total != 50 || w.Bad != 0 {
+			t.Fatalf("window %s totals %d/%d, want 50/0", w.Window, w.Total, w.Bad)
+		}
+	}
+}
+
+func TestEngineBurnAndBreachLatch(t *testing.T) {
+	clk := newFakeClock()
+	reg := metrics.NewRegistry()
+	var breaches []Breach
+	e := availEngine(t, clk, reg, func(b Breach) { breaches = append(breaches, b) })
+
+	// 50% bad: burn = 0.5/0.1 = 5 — at the 5m threshold, above the 1h one.
+	for i := 0; i < 20; i++ {
+		status := 200
+		if i%2 == 0 {
+			status = 500
+		}
+		e.Observe("/solve", status, time.Millisecond)
+		clk.Advance(time.Second)
+	}
+	st := e.Status()[0]
+	if !st.Breaching {
+		t.Fatalf("expected breaching, got %+v", st)
+	}
+	if math.Abs(st.WorstBurn-5) > 1e-9 {
+		t.Fatalf("worst burn = %g, want 5", st.WorstBurn)
+	}
+	if st.Breaches != 2 || len(breaches) != 2 {
+		t.Fatalf("breach events = %d (status says %d), want 2 (both windows)", len(breaches), st.Breaches)
+	}
+	// Budget: 1 - 0.5/0.1 clamps to 0.
+	if st.BudgetRemaining != 0 {
+		t.Fatalf("budget remaining = %g, want 0", st.BudgetRemaining)
+	}
+	if math.Abs(st.Measured-0.5) > 1e-9 {
+		t.Fatalf("measured = %g, want 0.5", st.Measured)
+	}
+
+	// The latch: evaluating again without new events fires nothing new.
+	e.Status()
+	if len(breaches) != 2 {
+		t.Fatalf("latched breach re-fired: %d events", len(breaches))
+	}
+
+	// Recovery: age the short window out with healthy traffic, then the
+	// latch re-arms and a fresh bad burst fires again.
+	for i := 0; i < 600; i++ {
+		e.Observe("/solve", 200, time.Millisecond)
+		clk.Advance(time.Second)
+	}
+	st = e.Status()[0]
+	if st.Windows[0].Breaching {
+		t.Fatalf("5m window still breaching after recovery: %+v", st.Windows[0])
+	}
+	if got := reg != nil; !got {
+		t.Fatal("registry dropped")
+	}
+	if v := e.breaches.Value("avail", "5m"); v != 1 {
+		t.Fatalf("relslo_breaches_total{avail,5m} = %g, want 1", v)
+	}
+}
+
+func TestEngineMinEventsGate(t *testing.T) {
+	clk := newFakeClock()
+	e := availEngine(t, clk, nil, nil)
+	// A single failure is a 10x burn but must not breach below MinEvents.
+	e.Observe("/solve", 500, time.Millisecond)
+	st := e.Status()[0]
+	if st.Breaching {
+		t.Fatalf("breached on %d events (MinEvents=5): %+v", st.Windows[0].Total, st)
+	}
+	if st.WorstBurn == 0 {
+		t.Fatal("burn rate should still be reported")
+	}
+}
+
+func TestEngineLatencyObjectiveAndRouteFilter(t *testing.T) {
+	clk := newFakeClock()
+	e, err := New(Config{
+		Objectives: []Objective{
+			{Name: "lat", Match: map[string]string{"route": "/solve"}, Target: 0.5, LatencyThresholdMS: 100},
+		},
+		MinEvents: 1,
+		Now:       clk.NowFunc(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe("/solve", 200, 10*time.Millisecond)  // good
+	e.Observe("/solve", 200, 500*time.Millisecond) // slow => bad
+	e.Observe("/solve", 500, time.Millisecond)     // failed => bad
+	e.Observe("/analyze", 500, time.Second)        // other route: ignored
+	st := e.Status()[0]
+	if st.Kind != "latency" {
+		t.Fatalf("kind = %q", st.Kind)
+	}
+	w := st.Windows[len(st.Windows)-1]
+	if w.Total != 3 || w.Bad != 2 {
+		t.Fatalf("window totals %d/%d, want 3/2", w.Total, w.Bad)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Objectives: []Objective{{Name: "", Target: 0.9}}},
+		{Objectives: []Objective{{Name: "a", Target: 0}}},
+		{Objectives: []Objective{{Name: "a", Target: 1}}},
+		{Objectives: []Objective{{Name: "a", Target: 0.9}, {Name: "a", Target: 0.5}}},
+		{Objectives: []Objective{{Name: "a", Target: 0.9, LatencyThresholdMS: -1}}},
+		{Objectives: []Objective{{Name: "a", Target: 0.9}}, Windows: []WindowSpec{{Span: -time.Second, Threshold: 1}}},
+		{Objectives: []Objective{{Name: "a", Target: 0.9}}, Windows: []WindowSpec{{Span: time.Minute, Threshold: 0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	objs, err := ParseConfig(strings.NewReader(`{"objectives":[
+		{"name":"a","target":0.999,"match":{"route":"/solve"}},
+		{"name":"b","target":0.95,"latency_threshold_ms":250}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Name != "a" || objs[1].LatencyThresholdMS != 250 {
+		t.Fatalf("parsed %+v", objs)
+	}
+	for _, in := range []string{
+		``, `{}`, `{"objectives":[]}`, `{"objectivez":[{"name":"a"}]}`, `not json`,
+	} {
+		if _, err := ParseConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseConfig(%q): expected error", in)
+		}
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	cases := map[time.Duration]string{
+		5 * time.Minute:         "5m",
+		time.Hour:               "1h",
+		6 * time.Hour:           "6h",
+		30 * time.Second:        "30s",
+		1500 * time.Millisecond: "1.5s",
+	}
+	for d, want := range cases {
+		if got := windowLabel(d); got != want {
+			t.Errorf("windowLabel(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestDefaultObjectivesValid(t *testing.T) {
+	if _, err := New(Config{Objectives: DefaultObjectives()}); err != nil {
+		t.Fatal(err)
+	}
+}

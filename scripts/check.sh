@@ -29,7 +29,7 @@ echo "== bench smoke"
 go test -bench=. -benchtime=1x -run='^$' ./...
 
 echo "== numvet"
-go run ./cmd/numvet ./internal/...
+go run ./cmd/numvet ./internal/... ./cmd/relcli
 
 # Static structural analysis over every bundled model except the
 # deliberately-broken lint fixtures; fails on error-severity findings.
@@ -100,6 +100,75 @@ if [[ "${CHECK_CHAOS:-0}" == "1" ]]; then
     # folded quantiles come out bit-identical to an uninterrupted run.
     echo "== chaos kill-resume"
     go run -race ./cmd/relcli chaos -kill-resume -seed 42
+fi
+
+# SLO smoke is opt-in (CHECK_SLO=1): boot the real server with a tight
+# availability objective and a deterministic 1-in-2 build failure, push
+# enough traffic to blow the error budget, and assert over /api/slo that
+# the burn-rate alert actually fired. Then close the loop the other way:
+# take a correlation ID off a wide-event line and resolve it back to its
+# trace through /api/traces?corr=.
+if [[ "${CHECK_SLO:-0}" == "1" ]]; then
+    echo "== slo smoke"
+    SLO_DIR=$(mktemp -d /tmp/relcli-slo.XXXXXX)
+    trap 'kill "${SLO_PID:-0}" 2>/dev/null || true; rm -rf "$SLO_DIR"' EXIT
+    cat > "$SLO_DIR/objectives.json" <<'EOF'
+{"objectives": [
+  {"name": "smoke-avail", "target": 0.99, "match": {"route": "/solve"}}
+]}
+EOF
+    go build -o "$SLO_DIR/relcli" ./cmd/relcli
+    "$SLO_DIR/relcli" serve -addr 127.0.0.1:0 \
+        -slo "$SLO_DIR/objectives.json" \
+        -wide-events "$SLO_DIR/wide.jsonl" -wide-sample 1 \
+        -failpoints 'modelio.build:1-in-2->error(injected)' \
+        > "$SLO_DIR/serve.out" 2>&1 &
+    SLO_PID=$!
+    for _ in $(seq 50); do
+        grep -q "serving on" "$SLO_DIR/serve.out" && break
+        sleep 0.1
+    done
+    SLO_ADDR=$(sed -n 's|.*http://\([0-9.:]*\).*|\1|p' "$SLO_DIR/serve.out" | head -n1)
+    if [[ -z "$SLO_ADDR" ]]; then
+        echo "slo smoke: server never announced an address" >&2
+        cat "$SLO_DIR/serve.out" >&2
+        exit 1
+    fi
+    # 1-in-2 fires on every odd evaluation, so failures never run 5 in a
+    # row and the breaker stays closed: exactly half of these 40 solves
+    # 500, a 50x burn against the 1% budget.
+    for _ in $(seq 40); do
+        curl -s -o /dev/null -X POST --data-binary @models/repairfarm.json \
+            "http://$SLO_ADDR/solve" || true
+    done
+    slo_json=$(curl -sSf "http://$SLO_ADDR/api/slo")
+    if ! jq -e '.objectives[] | select(.name == "smoke-avail") | .breaching' \
+            <<< "$slo_json" > /dev/null; then
+        echo "slo smoke: smoke-avail never breached under 50% injected failures" >&2
+        echo "$slo_json" >&2
+        exit 1
+    fi
+    if ! jq -e '.objectives[] | select(.name == "smoke-avail") | .budget_remaining < 1' \
+            <<< "$slo_json" > /dev/null; then
+        echo "slo smoke: error budget did not burn" >&2
+        echo "$slo_json" >&2
+        exit 1
+    fi
+    corr=$(jq -r 'select(.trace != null and .trace != "") | .corr' \
+        "$SLO_DIR/wide.jsonl" | head -n1)
+    if [[ -z "$corr" ]]; then
+        echo "slo smoke: no wide event carries a trace ID" >&2
+        cat "$SLO_DIR/wide.jsonl" >&2
+        exit 1
+    fi
+    if ! curl -sSf "http://$SLO_ADDR/api/traces?corr=$corr" | grep -q "\"$corr\""; then
+        echo "slo smoke: /api/traces?corr=$corr did not resolve the wide event's trace" >&2
+        exit 1
+    fi
+    kill "$SLO_PID" 2>/dev/null || true
+    wait "$SLO_PID" 2>/dev/null || true
+    rm -rf "$SLO_DIR"
+    trap - EXIT
 fi
 
 echo "all checks passed"
